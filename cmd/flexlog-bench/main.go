@@ -1,0 +1,71 @@
+// Command flexlog-bench regenerates the tables and figures of the FlexLog
+// paper's evaluation (§9).
+//
+// Usage:
+//
+//	flexlog-bench -list
+//	flexlog-bench [-quick] [-duration 2s] <experiment-id>... | all
+//
+// Experiment ids: table1, fig1, fig4lat, fig4thr, fig5, fig6, fig7, fig8,
+// fig9, fig10, fig11, ablate-batch, ablate-cache, ablate-readhold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flexlog/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	quick := flag.Bool("quick", false, "shrink sweeps and durations (CI mode)")
+	duration := flag.Duration("duration", 0, "measurement window per point (0 = default)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: flexlog-bench [-quick] <experiment-id>... | all   (see -list)")
+		os.Exit(2)
+	}
+
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+
+	cfg := bench.RunConfig{Quick: *quick, Duration: *duration}
+	failed := 0
+	for _, id := range ids {
+		e, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", id)
+			failed++
+			continue
+		}
+		start := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

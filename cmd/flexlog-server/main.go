@@ -1,0 +1,209 @@
+// Command flexlog-server runs one FlexLog node — a storage replica or a
+// sequencer — over TCP, as declared by a cluster manifest (see package
+// deploy for the format, and -example to print a starter manifest).
+//
+// Usage:
+//
+//	flexlog-server -example > cluster.json
+//	flexlog-server -config cluster.json -id 1      # replica (per manifest)
+//	flexlog-server -config cluster.json -id 900    # sequencer leader
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"flexlog/internal/deploy"
+	"flexlog/internal/pmem"
+	"flexlog/internal/replica"
+	"flexlog/internal/seq"
+	"flexlog/internal/ssd"
+	"flexlog/internal/storage"
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+func main() {
+	config := flag.String("config", "", "cluster manifest (JSON)")
+	id := flag.Uint("id", 0, "this node's id in the manifest")
+	example := flag.Bool("example", false, "print an example manifest and exit")
+	segMB := flag.Int("pm-segment-mb", 4, "PM segment size (MiB)")
+	segments := flag.Int("pm-segments", 16, "PM segment slots")
+	cacheMB := flag.Int("cache-mb", 16, "DRAM cache size (MiB)")
+	dataDir := flag.String("data-dir", "", "directory for device snapshots; empty = volatile (replicas only)")
+	flag.Parse()
+
+	if *example {
+		raw, err := json.MarshalIndent(deploy.Example(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+	if *config == "" || *id == 0 {
+		fmt.Fprintln(os.Stderr, "usage: flexlog-server -config cluster.json -id N   (or -example)")
+		os.Exit(2)
+	}
+	m, err := deploy.Load(*config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deploy.RegisterWire()
+	topo, err := m.Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	book := m.AddressBook()
+	nodeID := types.NodeID(*id)
+	role := m.RoleOf(nodeID)
+
+	attach := func(h transport.Handler) (transport.Endpoint, error) {
+		return transport.ListenTCP(nodeID, book, h)
+	}
+
+	switch role.Kind {
+	case "replica":
+		cfg := replica.DefaultConfig()
+		cfg.ID = nodeID
+		cfg.Shard = role.Shard
+		cfg.Topo = topo
+		cfg.Store = storage.Config{
+			SegmentSize: uint64(*segMB) << 20,
+			NumSegments: *segments,
+			CacheBytes:  *cacheMB << 20,
+			PMModel:     storage.DefaultConfig().PMModel,
+			SSDModel:    storage.DefaultConfig().SSDModel,
+		}
+		cfg.ReadHoldTimeout = time.Millisecond
+		cfg.HeartbeatInterval = 100 * time.Millisecond
+		cfg.RetryTimeout = time.Second
+
+		// Device snapshots make the simulated PM/SSD survive process
+		// restarts (standing in for reopening a PMDK pool file).
+		if *dataDir != "" {
+			pmPath := filepath.Join(*dataDir, fmt.Sprintf("node-%d.pmem", nodeID))
+			ssdPath := filepath.Join(*dataDir, fmt.Sprintf("node-%d.ssd", nodeID))
+			cfg.StoreFactory = func(scfg storage.Config) (*storage.Store, error) {
+				pool, errPM := pmem.LoadFrom(pmPath, scfg.PMModel)
+				if errPM != nil {
+					if !os.IsNotExist(errPM) {
+						return nil, errPM
+					}
+					return storage.New(scfg) // first boot
+				}
+				dev, errSSD := ssd.LoadFrom(ssdPath, scfg.SSDModel)
+				if errSSD != nil {
+					if !os.IsNotExist(errSSD) {
+						return nil, errSSD
+					}
+					dev = ssd.New(scfg.SSDModel)
+				}
+				log.Printf("restored device snapshots from %s", *dataDir)
+				return storage.Attach(scfg, pool, dev)
+			}
+			_ = os.MkdirAll(*dataDir, 0o755)
+		}
+
+		r, err := replica.NewWithEndpoint(cfg, attach)
+		if err != nil {
+			log.Fatal(err)
+		}
+		leaf := types.MasterColor
+		if sh, err := topo.Shard(role.Shard); err == nil {
+			leaf = sh.Leaf
+		}
+		log.Printf("replica %v serving shard %v (leaf %v)", nodeID, role.Shard, leaf)
+		waitForSignal()
+		r.Stop()
+		if *dataDir != "" {
+			pmPath := filepath.Join(*dataDir, fmt.Sprintf("node-%d.pmem", nodeID))
+			ssdPath := filepath.Join(*dataDir, fmt.Sprintf("node-%d.ssd", nodeID))
+			if err := r.Store().SaveDevices(pmPath, ssdPath); err != nil {
+				log.Printf("saving device snapshots: %v", err)
+			} else {
+				log.Printf("device snapshots saved to %s", *dataDir)
+			}
+		}
+	case "sequencer":
+		si, err := topo.Sequencer(role.Region)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := seq.DefaultConfig()
+		cfg.ID = nodeID
+		cfg.Region = role.Region
+		cfg.Topo = topo
+		cfg.BatchInterval = time.Microsecond
+		cfg.HeartbeatInterval = 100 * time.Millisecond
+		cfg.FailureTimeout = time.Second
+		cfg.RetryTimeout = 2 * time.Second
+		cfg.StartAsLeader = si.Leader == nodeID
+		// Durable epochs: a cold restart must resume ABOVE every epoch the
+		// previous incarnation could have used, or SNs would repeat.
+		var epochPath string
+		if *dataDir != "" {
+			_ = os.MkdirAll(*dataDir, 0o755)
+			epochPath = filepath.Join(*dataDir, fmt.Sprintf("node-%d.epoch", nodeID))
+			cfg.InitialEpoch = loadEpoch(epochPath) + 1
+			if err := saveEpoch(epochPath, cfg.InitialEpoch); err != nil {
+				log.Fatalf("persisting epoch: %v", err)
+			}
+		}
+		s, err := seq.NewWithEndpoint(cfg, attach)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sequencer %v for region %v (leader=%v, epoch=%d)", nodeID, role.Region, cfg.StartAsLeader, s.Epoch())
+		if epochPath != "" {
+			// Track epoch advances (failovers) so the next cold start
+			// resumes above them.
+			go func() {
+				for range time.Tick(time.Second) {
+					saveEpoch(epochPath, s.Epoch())
+				}
+			}()
+		}
+		waitForSignal()
+		if epochPath != "" {
+			saveEpoch(epochPath, s.Epoch())
+		}
+		s.Stop()
+	default:
+		log.Fatalf("node %v has no role in the manifest", nodeID)
+	}
+}
+
+// loadEpoch reads the persisted epoch (0 when absent).
+func loadEpoch(path string) types.Epoch {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var e uint32
+	fmt.Sscanf(string(raw), "%d", &e)
+	return types.Epoch(e)
+}
+
+// saveEpoch persists the epoch atomically.
+func saveEpoch(path string, e types.Epoch) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, fmt.Appendf(nil, "%d\n", uint32(e)), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	log.Println("shutting down")
+}

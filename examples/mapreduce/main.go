@@ -1,0 +1,134 @@
+// Chained (map-reduce style) execution over FlexLog — the §5.1 causality
+// recipe: "each mapper writes to a distinct colored log. Upon its
+// completion, it appends a final record to a specific log, the black log.
+// Reducers wait until all mappers append final records on the black log."
+//
+// The mappers count words in their input shard in parallel (no cross-
+// mapper ordering needed: distinct colors), the black log acts as the
+// phase barrier, and the reducer merges the per-mapper counts.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"flexlog/internal/core"
+	"flexlog/internal/types"
+)
+
+const (
+	mapperColorBase types.ColorID = 100 // mapper i writes color base+i
+	blackLog        types.ColorID = 99  // completion barrier
+)
+
+var corpus = []string{
+	"the quick brown fox jumps over the lazy dog",
+	"the dog barks and the fox runs into the quiet woods",
+	"quick thinking wins the day says the quick fox",
+}
+
+func main() {
+	cluster, err := core.TreeCluster(core.TestClusterConfig(), 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	boot, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := boot.AddColor(blackLog, types.MasterColor); err != nil {
+		log.Fatal(err)
+	}
+	for i := range corpus {
+		if err := boot.AddColor(mapperColorBase+types.ColorID(i), types.MasterColor); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Map phase: parallel tasks, each on its own color — no ordering
+	// between them (this is exactly the flexibility §3.1 argues for).
+	for i, shard := range corpus {
+		go func(i int, text string) {
+			client, err := cluster.NewClient()
+			if err != nil {
+				log.Fatal(err)
+			}
+			counts := map[string]int{}
+			for _, w := range strings.Fields(text) {
+				counts[w]++
+			}
+			enc, _ := json.Marshal(counts)
+			color := mapperColorBase + types.ColorID(i)
+			if _, err := client.Append([][]byte{enc}, color); err != nil {
+				log.Fatal(err)
+			}
+			// Completion record on the black log: the phase barrier.
+			done := fmt.Appendf(nil, "mapper-%d-done", i)
+			if _, err := client.Append([][]byte{done}, blackLog); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("mapper %d finished (%d distinct words)\n", i, len(counts))
+		}(i, shard)
+	}
+
+	// Reduce phase: wait for all mappers on the black log, then merge.
+	reducer, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		records, err := reducer.Subscribe(blackLog, types.InvalidSN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(records) == len(corpus) {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("mappers did not finish in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Println("barrier reached: all mappers done")
+
+	total := map[string]int{}
+	for i := range corpus {
+		records, err := reducer.Subscribe(mapperColorBase+types.ColorID(i), types.InvalidSN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range records {
+			var counts map[string]int
+			if err := json.Unmarshal(r.Data, &counts); err != nil {
+				log.Fatal(err)
+			}
+			for w, n := range counts {
+				total[w] += n
+			}
+		}
+	}
+	words := make([]string, 0, len(total))
+	for w := range total {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if total[words[i]] != total[words[j]] {
+			return total[words[i]] > total[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	fmt.Println("top words:")
+	for i, w := range words {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-8s %d\n", w, total[w])
+	}
+}

@@ -1,0 +1,118 @@
+// Message queue between two serverless functions — the paper's Listing 1.
+//
+// Func1 appends payload data to a data log (the "yellow" color), creates a
+// queue color (the "black" color), and enqueues the data's sequence number
+// as a message. Func2 subscribes to the queue until the expected message
+// appears, then reads the payload from the data log.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flexlog/internal/core"
+	"flexlog/internal/faas"
+	"flexlog/internal/types"
+)
+
+const (
+	yellow types.ColorID = 11 // data log
+	black  types.ColorID = 12 // message queue
+)
+
+// MessageQueue is the Listing 1 structure: a queue is just a colored log.
+type MessageQueue struct {
+	color  types.ColorID
+	handle *core.Client
+}
+
+// Enqueue appends one message.
+func (mq *MessageQueue) Enqueue(msg []byte) (types.SN, error) {
+	return mq.handle.Append([][]byte{msg}, mq.color)
+}
+
+// Lookup subscribes and scans for the first message matching f (Listing
+// 1's getIdx); it polls until found or the deadline passes.
+func (mq *MessageQueue) Lookup(f func([]byte) bool, deadline time.Time) (types.Record, error) {
+	for {
+		records, err := mq.handle.Subscribe(mq.color, types.InvalidSN)
+		if err != nil {
+			return types.Record{}, err
+		}
+		for _, r := range records {
+			if f(r.Data) {
+				return r, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return types.Record{}, fmt.Errorf("message not found before deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func main() {
+	cluster, err := core.SimpleCluster(core.TestClusterConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+	platform, err := faas.New(faas.Config{Workers: 2}, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.AddColor(yellow, types.MasterColor); err != nil {
+		log.Fatal(err)
+	}
+
+	// Func1: append data to yellow, create the black queue, enqueue the
+	// data's SN (Listing 1 lines 21–26).
+	platform.Deploy("func1", func(inv *faas.Invocation) ([]byte, error) {
+		snY, err := inv.Log.Append([][]byte{inv.Input}, yellow)
+		if err != nil {
+			return nil, err
+		}
+		if err := inv.Log.AddColor(black, types.MasterColor); err != nil {
+			return nil, err
+		}
+		mq := &MessageQueue{color: black, handle: inv.Log}
+		msg := fmt.Appendf(nil, "YELLOW_READ_IDX=%d", uint64(snY))
+		if _, err := mq.Enqueue(msg); err != nil {
+			return nil, err
+		}
+		fmt.Printf("func1: data at yellow/%v, queued %q\n", snY, msg)
+		return msg, nil
+	})
+
+	// Func2: poll the black queue for the expected message, then read the
+	// yellow record it points to (Listing 1 lines 27–32).
+	platform.Deploy("func2", func(inv *faas.Invocation) ([]byte, error) {
+		mq := &MessageQueue{color: black, handle: inv.Log}
+		rec, err := mq.Lookup(func(b []byte) bool {
+			var sn uint64
+			return len(b) > 0 && parseIdx(b, &sn)
+		}, time.Now().Add(5*time.Second))
+		if err != nil {
+			return nil, err
+		}
+		var sn uint64
+		parseIdx(rec.Data, &sn)
+		fmt.Printf("func2: found %q at black/%v\n", rec.Data, rec.SN)
+		return inv.Log.Read(types.SN(sn), yellow)
+	})
+
+	if _, err := platform.Invoke("tenant", "func1", []byte("the payload")); err != nil {
+		log.Fatal(err)
+	}
+	out, err := platform.Invoke("tenant", "func2", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("func2 read the payload through the queue: %q\n", out)
+}
+
+func parseIdx(b []byte, sn *uint64) bool {
+	n, err := fmt.Sscanf(string(b), "YELLOW_READ_IDX=%d", sn)
+	return err == nil && n == 1
+}

@@ -1,0 +1,79 @@
+// Multi-tenancy on distinct colors (§5.1): two unrelated applications
+// append concurrently to their own colored logs. FlexLog imposes no
+// ordering relation between the tenants' records — each tenant gets its
+// own totally ordered log, served by its own leaf sequencer — while a
+// third application demonstrates the stronger end of the spectrum by
+// using the master region's global total order.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"flexlog/internal/core"
+	"flexlog/internal/types"
+)
+
+func main() {
+	// Two leaf regions (one per tenant) under the master region.
+	cluster, err := core.TreeCluster(core.TestClusterConfig(), 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+	// A shard on the master region for the globally ordered app.
+	if _, err := cluster.AddShard(types.MasterColor); err != nil {
+		log.Fatal(err)
+	}
+
+	const perTenant = 10
+	var wg sync.WaitGroup
+	for tenant := 1; tenant <= 2; tenant++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			client, err := cluster.NewClient()
+			if err != nil {
+				log.Fatal(err)
+			}
+			color := types.ColorID(tenant)
+			for i := 0; i < perTenant; i++ {
+				rec := fmt.Appendf(nil, "tenant%d-update-%d", tenant, i)
+				if _, err := client.Append([][]byte{rec}, color); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(tenant)
+	}
+	wg.Wait()
+
+	observer, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for tenant := 1; tenant <= 2; tenant++ {
+		records, err := observer.Subscribe(types.ColorID(tenant), types.InvalidSN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tenant %d log: %d records, SNs %v..%v — isolated and internally ordered\n",
+			tenant, len(records), records[0].SN, records[len(records)-1].SN)
+		for _, r := range records {
+			if string(r.Data[:7]) != fmt.Sprintf("tenant%d", tenant) {
+				log.Fatalf("tenant isolation violated: %q in tenant %d's log", r.Data, tenant)
+			}
+		}
+	}
+
+	// The sequencers of the two tenants never talked to each other: no
+	// cross-tenant ordering exists, which is what lets both run at full
+	// speed (the FlexLog-P configuration of §9.1).
+	fmt.Println("no ordering relation exists between the two tenants' records (eventual consistency across colors)")
+
+	// Strongest consistency when needed: the master region's log is
+	// totally ordered across everything appended to it.
+	sn1, _ := observer.Append([][]byte{[]byte("global-1")}, types.MasterColor)
+	sn2, _ := observer.Append([][]byte{[]byte("global-2")}, types.MasterColor)
+	fmt.Printf("master-region appends are totally ordered: %v < %v = %v\n", sn1, sn2, sn1 < sn2)
+}

@@ -1,0 +1,3 @@
+module flexlog
+
+go 1.23

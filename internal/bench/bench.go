@@ -1,0 +1,111 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§9). Each experiment builds the relevant systems — FlexLog's
+// storage and ordering layers, the Boki/Scalog/Paxos baselines — on the
+// calibrated simulated substrates (PM, SSD, datacenter links), drives the
+// paper's workload, and prints the same rows/series the paper reports.
+//
+// Absolute numbers depend on the latency calibration (the substrates model
+// the paper's testbed, they are not it); what the experiments reproduce is
+// the shape of each result: who wins, by roughly what factor, and where
+// the crossovers fall. EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"flexlog/internal/metrics"
+	"flexlog/internal/simclock"
+)
+
+// RunConfig controls experiment scale.
+type RunConfig struct {
+	// Quick shrinks sweeps and durations for CI and go-test benchmarks.
+	Quick bool
+	// Duration is the measurement window per point (default 2s, quick
+	// 300ms).
+	Duration time.Duration
+}
+
+// PointDuration resolves the per-point measurement window.
+func (c RunConfig) PointDuration() time.Duration {
+	if c.Duration > 0 {
+		return c.Duration
+	}
+	if c.Quick {
+		return 300 * time.Millisecond
+	}
+	return 2 * time.Second
+}
+
+// Report is one experiment's regenerated table/figure.
+type Report struct {
+	ID      string
+	Title   string
+	XHeader string
+	Series  []*metrics.Series
+	Notes   []string
+}
+
+// String renders the report in the style of the paper's figures.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(metrics.Table(r.XHeader, r.Series...))
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Value looks a measured point up by series name and x label (used by
+// EXPERIMENTS.md generation and by the shape-checking tests).
+func (r *Report) Value(series, label string) (float64, bool) {
+	for _, s := range r.Series {
+		if s.Name == series {
+			return s.Value(label)
+		}
+	}
+	return 0, false
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig) (*Report, error)
+}
+
+// registry of experiments, filled by the fig*.go files' init functions.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// withLatencyInjection runs fn with calibrated latency injection enabled
+// and restores the previous setting afterwards. Every experiment that
+// measures time uses it.
+func withLatencyInjection(fn func() error) error {
+	prev := simclock.Enable(true)
+	defer simclock.Enable(prev)
+	return fn()
+}

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flexlog/internal/metrics"
+	"flexlog/internal/paxos"
+	"flexlog/internal/scalog"
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+	"flexlog/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig4lat",
+		Title: "Ordering-layer latency: FlexLog vs Boki, by read share (Figure 4, left)",
+		Run:   runFig4Latency,
+	})
+	register(Experiment{
+		ID:    "fig4thr",
+		Title: "Ordering-layer throughput: FlexLog / FlexLog-P vs optimized Paxos (Figure 4, right)",
+		Run:   runFig4Throughput,
+	})
+}
+
+// fig4ReadPercents are the workload mixes of Figure 4.
+var fig4ReadPercents = []int{10, 15, 50}
+
+// throughputBatchWindow is the aggregation window used by the functional
+// throughput runs (see the fig4thr note on why it is wider than 1 µs).
+const throughputBatchWindow = 20 * time.Microsecond
+
+// bokiBatchInterval is the Scalog/Boki counter commit interval: the
+// ordering layer advances the replicated tail once per interval, so every
+// append pays half of it in expectation on top of the Paxos round.
+const bokiBatchInterval = time.Millisecond
+
+// storageReadLatency is the (negligible) local PM read charged to read
+// operations in the ordering-only workloads (§9.1 RQ1.1: "the storage
+// latency is 1 us").
+const storageReadLatency = time.Microsecond
+
+// runFig4Latency measures single-client append-ordering latency for
+// FlexLog's 3-sequencer tree and the Boki/Scalog orderer across read
+// mixes.
+func runFig4Latency(cfg RunConfig) (*Report, error) {
+	opsPerPoint := 300
+	if cfg.Quick {
+		opsPerPoint = 60
+	}
+	flexSeries := metrics.NewSeries("FlexLog", "usec")
+	bokiSeries := metrics.NewSeries("Boki", "usec")
+
+	err := withLatencyInjection(func() error {
+		for _, rp := range fig4ReadPercents {
+			label := fmt.Sprint(rp)
+
+			// FlexLog: root–middle–leaf tree, total order (master color).
+			net := transport.NewNetwork(transport.DatacenterLink())
+			leaf, _, stopTree, err := buildSeqTree(net, time.Microsecond)
+			if err != nil {
+				return err
+			}
+			driver, err := newOrderDriver(net, 100)
+			if err != nil {
+				stopTree()
+				return err
+			}
+			mean, err := measureOrderingLatency(driver, leaf, types.MasterColor, rp, opsPerPoint)
+			stopTree()
+			if err != nil {
+				return err
+			}
+			flexSeries.Add(label, float64(mean)/1e3)
+
+			// Boki: aggregator + classic-Paxos counter with the Scalog
+			// commit interval.
+			net2 := transport.NewNetwork(transport.DatacenterLink())
+			ids, _, err := paxos.AcceptorSet(net2, 9100, 3)
+			if err != nil {
+				return err
+			}
+			ord, err := scalog.New(scalog.Config{
+				ID: 9200, Acceptors: ids,
+				BatchInterval: bokiBatchInterval,
+				UniquePrimary: false, // classic two-phase Paxos (§3.3)
+				PhaseTimeout:  time.Second,
+			}, net2)
+			if err != nil {
+				return err
+			}
+			driver2, err := newOrderDriver(net2, 100)
+			if err != nil {
+				ord.Stop()
+				return err
+			}
+			mean, err = measureOrderingLatency(driver2, 9200, types.MasterColor, rp, opsPerPoint)
+			ord.Stop()
+			if err != nil {
+				return err
+			}
+			bokiSeries.Add(label, float64(mean)/1e3)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:      "fig4lat",
+		Title:   "mean append-ordering latency (µs); paper: FlexLog < 250µs, 2.5–4x below Boki",
+		XHeader: "Reads (%)",
+		Series:  []*metrics.Series{flexSeries, bokiSeries},
+		Notes: []string{
+			"reads bypass the ordering layer and cost only the ~1µs local PM access (§9.1)",
+			fmt.Sprintf("Boki modeled as classic 2-phase Paxos counter with a %v commit interval", bokiBatchInterval),
+		},
+	}, nil
+}
+
+// measureOrderingLatency runs a single closed-loop client with the given
+// read share and returns the mean append-ordering latency.
+func measureOrderingLatency(d *orderDriver, target types.NodeID, color types.ColorID, readPercent, appends int) (time.Duration, error) {
+	mix := workload.NewMix(readPercent, int64(readPercent)+1)
+	h := metrics.NewHistogram()
+	done := 0
+	for done < appends {
+		if mix.NextIsRead() {
+			// Reads only touch local storage (no ordering round).
+			start := time.Now()
+			simSpin(storageReadLatency)
+			_ = time.Since(start)
+			continue
+		}
+		lat, err := d.request(target, color, 1, 10*time.Second)
+		if err != nil {
+			return 0, err
+		}
+		h.Record(lat)
+		done++
+	}
+	return h.Mean(), nil
+}
+
+// runFig4Throughput measures multi-client ordering throughput for FlexLog
+// (total order via the tree), FlexLog-P (leaf-only partial order) and the
+// optimized Paxos counter. Throughput is modeled: the protocols run
+// functionally and each node's modeled busy time is its delivered-message
+// count times the calibrated per-message processing cost; the bottleneck
+// node bounds throughput (see fig5to7.go for the methodology note).
+func runFig4Throughput(cfg RunConfig) (*Report, error) {
+	drivers := 24
+	opsPerDriver := 4000
+	if cfg.Quick {
+		drivers = 8
+		opsPerDriver = 800
+	}
+	flexSeries := metrics.NewSeries("FlexLog", "kOps/s")
+	flexPSeries := metrics.NewSeries("FlexLog-P", "kOps/s")
+	paxosSeries := metrics.NewSeries("Paxos", "kOps/s")
+
+	for _, rp := range fig4ReadPercents {
+		label := fmt.Sprint(rp)
+
+		// FlexLog total order. The aggregation window is widened from the
+		// paper's 1 µs because the functional (single-core) run serializes
+		// arrivals that a parallel testbed would overlap within 1 µs; the
+		// wider window restores the same requests-per-batch regime.
+		ops, err := runOrderingThroughput(drivers, opsPerDriver, rp, func(net *transport.Network) (types.NodeID, types.ColorID, func(), error) {
+			leaf, _, stop, err := buildSeqTree(net, throughputBatchWindow)
+			return leaf, types.MasterColor, stop, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		flexSeries.Add(label, ops/1e3)
+
+		// FlexLog-P: leaf-owned color, the root is never consulted.
+		ops, err = runOrderingThroughput(drivers, opsPerDriver, rp, func(net *transport.Network) (types.NodeID, types.ColorID, func(), error) {
+			leaf, leafColor, stop, err := buildSeqTree(net, throughputBatchWindow)
+			return leaf, leafColor, stop, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		flexPSeries.Add(label, ops/1e3)
+
+		// Optimized Paxos: unique primary, one pipelined decision per
+		// order request.
+		ops, err = runOrderingThroughput(drivers, opsPerDriver, rp, func(net *transport.Network) (types.NodeID, types.ColorID, func(), error) {
+			ids, _, err := paxos.AcceptorSet(net, 9100, 3)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			ord, err := scalog.New(scalog.Config{
+				ID: 9200, Acceptors: ids,
+				UniquePrimary: true,
+				PerRequest:    true,
+				PhaseTimeout:  time.Second,
+			}, net)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			return 9200, types.MasterColor, ord.Stop, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		paxosSeries.Add(label, ops/1e3)
+	}
+	return &Report{
+		ID:      "fig4thr",
+		Title:   "ordering throughput (kOps/s); paper: FlexLog 2-3x Paxos, FlexLog-P ~10% above total order",
+		XHeader: "Reads (%)",
+		Series:  []*metrics.Series{flexSeries, flexPSeries, paxosSeries},
+		Notes: []string{
+			"modeled from per-node message counts x calibrated per-message cost; Paxos pays one quorum round (4 messages at the primary) per request",
+		},
+	}, nil
+}
+
+// runOrderingThroughput runs the ordering layer functionally with
+// closed-loop drivers and returns the modeled throughput from per-node
+// message accounting. Reads bypass the ordering layer entirely.
+func runOrderingThroughput(drivers, opsPerDriver, readPercent int, build func(net *transport.Network) (types.NodeID, types.ColorID, func(), error)) (float64, error) {
+	net := transport.NewNetwork(transport.DatacenterLink())
+	target, color, stop, err := build(net)
+	if err != nil {
+		return 0, err
+	}
+	defer stop()
+
+	ds := make([]*orderDriver, drivers)
+	for i := range ds {
+		d, err := newOrderDriver(net, types.NodeID(100+i))
+		if err != nil {
+			return 0, err
+		}
+		ds[i] = d
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for w := 0; w < drivers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mix := workload.NewMix(readPercent, int64(w+1))
+			for i := 0; i < opsPerDriver; i++ {
+				if mix.NextIsRead() {
+					continue // local storage access; no ordering traffic
+				}
+				if _, err := ds[w].request(target, color, 1, 30*time.Second); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	// Bottleneck: the busiest ordering-layer node (drivers model client
+	// machines and are excluded — the paper scales clients freely).
+	perNode := net.NodeDelivered()
+	var maxMsgs uint64
+	for id, n := range perNode {
+		if id >= 100 && id < 9000 {
+			continue // driver nodes
+		}
+		if n > maxMsgs {
+			maxMsgs = n
+		}
+	}
+	if maxMsgs == 0 {
+		return 0, fmt.Errorf("ordering throughput run produced no traffic")
+	}
+	busy := time.Duration(maxMsgs) * net.Model().ProcCost
+	totalOps := float64(drivers * opsPerDriver)
+	return totalOps / busy.Seconds(), nil
+}

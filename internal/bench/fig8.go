@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flexlog/internal/core"
+	"flexlog/internal/metrics"
+	"flexlog/internal/types"
+	"flexlog/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Append/read latency vs replication factor, one shard (Figure 8)",
+		Run:   runFig8,
+	})
+}
+
+// replicationFactors is the Fig. 8 sweep.
+var replicationFactors = []int{2, 3, 4, 6, 8}
+
+// runFig8 deploys one shard with varying replica counts connected to the
+// root sequencer (the minimal ordering layer for linearizability, §9.2)
+// and measures append and read latency under a 95%W/5%R workload with the
+// calibrated latency injection.
+func runFig8(cfg RunConfig) (*Report, error) {
+	opsPerPoint := 400
+	factors := replicationFactors
+	if cfg.Quick {
+		opsPerPoint = 80
+		factors = []int{2, 3, 8}
+	}
+	appendS := metrics.NewSeries("Appends", "ms")
+	readS := metrics.NewSeries("Reads", "ms")
+
+	err := withLatencyInjection(func() error {
+		for _, rf := range factors {
+			app, rd, err := measureClusterLatency(rf, 1, opsPerPoint, 5)
+			if err != nil {
+				return err
+			}
+			appendS.Add(fmt.Sprint(rf), float64(app)/1e6)
+			readS.Add(fmt.Sprint(rf), float64(rd)/1e6)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:      "fig8",
+		Title:   "latency vs replication factor; paper: appends stable to 3 then grow, reads flat (local reads)",
+		XHeader: "replication",
+		Series:  []*metrics.Series{appendS, readS},
+		Notes:   []string{"1 shard, root sequencer, 95%W/5%R, 1 KiB records"},
+	}, nil
+}
+
+// measureClusterLatency runs a single closed-loop client against a fresh
+// single-region cluster with `shards` shards of `rf` replicas, measuring
+// mean append and read latency at the given read percentage.
+func measureClusterLatency(rf, shards, ops, readPercent int) (appendLat, readLat time.Duration, err error) {
+	ccfg := core.BenchClusterConfig()
+	ccfg.ReplicationFactor = rf
+	ccfg.SeqBackups = 0 // ordering fault tolerance is orthogonal here
+	cl := core.NewCluster(ccfg)
+	defer cl.Stop()
+	if err := cl.AddRegion(types.MasterColor, types.MasterColor); err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < shards; i++ {
+		if _, err := cl.AddShard(types.MasterColor); err != nil {
+			return 0, 0, err
+		}
+	}
+	c, err := cl.NewClient()
+	if err != nil {
+		return 0, 0, err
+	}
+	payload := workload.Payload(1024, 1)
+	// Seed a few records so reads always have targets.
+	var sns []types.SN
+	for i := 0; i < 8; i++ {
+		sn, err := c.Append([][]byte{payload}, types.MasterColor)
+		if err != nil {
+			return 0, 0, err
+		}
+		sns = append(sns, sn)
+	}
+	appendH, readH := metrics.NewHistogram(), metrics.NewHistogram()
+	mix := workload.NewMix(readPercent, 7)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < ops; i++ {
+		if mix.NextIsRead() {
+			sn := sns[rng.Intn(len(sns))]
+			start := time.Now()
+			if _, err := c.Read(sn, types.MasterColor); err != nil {
+				return 0, 0, fmt.Errorf("read: %w", err)
+			}
+			readH.Record(time.Since(start))
+			continue
+		}
+		start := time.Now()
+		sn, err := c.Append([][]byte{payload}, types.MasterColor)
+		if err != nil {
+			return 0, 0, fmt.Errorf("append: %w", err)
+		}
+		appendH.Record(time.Since(start))
+		sns = append(sns, sn)
+		if len(sns) > 64 {
+			sns = sns[1:]
+		}
+	}
+	if readH.Count() == 0 {
+		// Guarantee at least one read sample.
+		start := time.Now()
+		if _, err := c.Read(sns[0], types.MasterColor); err != nil {
+			return 0, 0, err
+		}
+		readH.Record(time.Since(start))
+	}
+	return appendH.Mean(), readH.Mean(), nil
+}

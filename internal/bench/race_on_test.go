@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active: measurement-based
+// shape assertions are skipped because the detector's 5-20x slowdown
+// distorts both injected-latency ratios and real-compute/storage splits.
+const raceEnabled = true

@@ -1,0 +1,11 @@
+package bench
+
+import (
+	"time"
+
+	"flexlog/internal/simclock"
+)
+
+// simSpin injects a delay when latency injection is active (the bench
+// always enables it, but quick unit tests of the harness may not).
+func simSpin(d time.Duration) { simclock.Wait(d) }

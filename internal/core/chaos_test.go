@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"flexlog/internal/replica"
+	"flexlog/internal/types"
+)
+
+// TestChaosCrashRecoveryUnderLoad drives continuous appends and reads
+// while replicas crash and recover (and, once, the sequencer leader
+// fails over), then checks the §7 safety properties on the survivors:
+//
+//   - every acknowledged append is readable with its exact payload;
+//   - no two acknowledged appends share a sequence number;
+//   - the final subscribe is sorted, duplicate-free, and contains every
+//     acknowledged record.
+func TestChaosCrashRecoveryUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive chaos run skipped under the race detector")
+	}
+	cfg := TestClusterConfig()
+	cl, err := SimpleCluster(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+
+	type acked struct {
+		sn   types.SN
+		data []byte
+	}
+	var mu sync.Mutex
+	var ackedAppends []acked
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: keep appending; only acknowledged appends are recorded.
+	const writers = 3
+	for w := 0; w < writers; w++ {
+		c, err := cl.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.cfg.Timeout = 500 * time.Millisecond
+		wg.Add(1)
+		go func(w int, c *Client) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				data := fmt.Appendf(nil, "w%d-%d", w, i)
+				sn, err := c.Append([][]byte{data}, types.MasterColor)
+				if err != nil {
+					continue // blocked by a fault; fine
+				}
+				mu.Lock()
+				ackedAppends = append(ackedAppends, acked{sn, data})
+				mu.Unlock()
+			}
+		}(w, c)
+	}
+
+	// Reader: continuously re-reads a random acknowledged record; a read
+	// may time out during faults but must never return wrong data.
+	readerC, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	readerC.cfg.Timeout = 500 * time.Millisecond
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			if len(ackedAppends) == 0 {
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			pick := ackedAppends[rng.Intn(len(ackedAppends))]
+			mu.Unlock()
+			got, err := readerC.Read(pick.sn, types.MasterColor)
+			if err == nil && !bytes.Equal(got, pick.data) {
+				t.Errorf("read %v returned %q, acked %q", pick.sn, got, pick.data)
+				return
+			}
+		}
+	}()
+
+	// Chaos: crash/recover replicas; one sequencer failover mid-run.
+	rng := rand.New(rand.NewSource(99))
+	shards := cl.Topology().ShardsInRegion(types.MasterColor)
+	crashedSeq := false
+	for round := 0; round < 6; round++ {
+		time.Sleep(60 * time.Millisecond)
+		if round == 3 && !crashedSeq {
+			leader := cl.LeaderOf(types.MasterColor)
+			if leader != nil {
+				leader.Crash()
+				cl.Network().Isolate(leader.ID())
+				crashedSeq = true
+			}
+			continue
+		}
+		sh := shards[rng.Intn(len(shards))]
+		victim := cl.Replica(sh.Replicas[rng.Intn(len(sh.Replicas))])
+		if victim.Mode() != replica.ModeOperational {
+			continue
+		}
+		victim.Crash()
+		cl.Network().Isolate(victim.ID())
+		time.Sleep(time.Duration(rng.Intn(40)+10) * time.Millisecond)
+		cl.Network().Rejoin(victim.ID())
+		if err := victim.Recover(); err != nil {
+			t.Errorf("recover: %v", err)
+		}
+	}
+
+	// Quiesce: heal, let recoveries finish, stop load.
+	cl.Network().HealAll()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Wait for every replica to return to operational mode.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, sh := range shards {
+		for _, id := range sh.Replicas {
+			for cl.Replica(id).Mode() != replica.ModeOperational {
+				if time.Now().After(deadline) {
+					t.Fatalf("replica %v stuck in %v", id, cl.Replica(id).Mode())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+
+	mu.Lock()
+	final := append([]acked(nil), ackedAppends...)
+	mu.Unlock()
+	if len(final) == 0 {
+		t.Fatal("chaos run acknowledged no appends at all")
+	}
+	t.Logf("chaos: %d acknowledged appends across faults", len(final))
+
+	// Invariant: distinct SNs.
+	bySN := make(map[types.SN][]byte, len(final))
+	for _, a := range final {
+		if prev, dup := bySN[a.sn]; dup && !bytes.Equal(prev, a.data) {
+			t.Fatalf("SN %v acknowledged for %q and %q", a.sn, prev, a.data)
+		}
+		bySN[a.sn] = a.data
+	}
+
+	// Invariant: all acked records readable with exact payloads.
+	verifier, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range final {
+		got, err := verifier.Read(a.sn, types.MasterColor)
+		if err != nil {
+			t.Fatalf("acked record %v unreadable after chaos: %v", a.sn, err)
+		}
+		if !bytes.Equal(got, a.data) {
+			t.Fatalf("acked record %v = %q, want %q", a.sn, got, a.data)
+		}
+	}
+
+	// Invariant: subscribe is sorted, duplicate-free, and complete.
+	recs, err := verifier.Subscribe(types.MasterColor, types.InvalidSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[types.SN]bool, len(recs))
+	for i, r := range recs {
+		if i > 0 && recs[i-1].SN >= r.SN {
+			t.Fatal("subscribe not strictly sorted")
+		}
+		seen[r.SN] = true
+	}
+	for sn := range bySN {
+		if !seen[sn] {
+			t.Fatalf("acked SN %v missing from subscribe", sn)
+		}
+	}
+}

@@ -1,0 +1,619 @@
+// Package core is FlexLog's public API: the client handle implementing the
+// operations of Table 2 (Append, Read, Subscribe, Trim, AddColor) plus the
+// atomic multi-color append of §6.4, and the Cluster harness that deploys a
+// complete FlexLog — sequencer tree, shards, replicas — either in-process
+// (with the calibrated latency models) or over TCP.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexlog/internal/proto"
+	"flexlog/internal/replica"
+	"flexlog/internal/topology"
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+var (
+	// ErrNotFound is the ⊥ result: no record with that SN exists (§6.1).
+	ErrNotFound = errors.New("flexlog: record not found")
+	// ErrTimeout is returned when an operation exceeds its deadline.
+	ErrTimeout = errors.New("flexlog: operation timed out")
+	// ErrClosed is returned after the client is closed.
+	ErrClosed = errors.New("flexlog: client closed")
+)
+
+// ClientConfig parameterizes a client handle.
+type ClientConfig struct {
+	FID  uint32 // distinct function id (Alg. 1: token = (FID<<32)+counter)
+	ID   types.NodeID
+	Topo *topology.Topology
+
+	// RetryInterval re-broadcasts an unanswered request (idempotent).
+	RetryInterval time.Duration
+	// Timeout bounds every blocking operation.
+	Timeout time.Duration
+	// Seed seeds shard selection; 0 derives one from the FID.
+	Seed int64
+}
+
+// Client is a FlexLog handle used by one serverless function. It is safe
+// for concurrent use.
+type Client struct {
+	cfg   ClientConfig
+	topo  *topology.Topology
+	ep    transport.Endpoint
+	adder ColorAdder
+
+	counter atomic.Uint32 // token counter (Alg. 1 line 3)
+	reqSeq  atomic.Uint64 // correlation ids for read/subscribe/trim/multi
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	appends map[types.Token]*appendWait
+	reads   map[uint64]*readWait
+	subs    map[uint64]*subWait
+	trims   map[uint64]*trimWaitC
+	multis  map[uint64]*multiWait
+	closed  bool
+
+	// place is the client-side placement cache: SNs this client appended
+	// (or read) mapped to the shard storing them. A hit lets Read query a
+	// single replica of one shard instead of one replica of every shard;
+	// a stale hint degrades gracefully to the full protocol.
+	place map[placeKey]types.ShardID
+}
+
+type placeKey struct {
+	color types.ColorID
+	sn    types.SN
+}
+
+// placeCacheLimit bounds the placement cache.
+const placeCacheLimit = 8192
+
+// ColorAdder provisions new colored regions (Table 2 AddColor). The
+// in-process Cluster implements it; TCP deployments provision statically.
+type ColorAdder interface {
+	AddColor(color, parent types.ColorID) error
+}
+
+type appendWait struct {
+	needed map[types.NodeID]bool
+	sn     types.SN
+	done   chan struct{}
+	closed bool
+}
+
+type readWait struct {
+	waiting int // shards that have not answered
+	data    []byte
+	found   bool
+	done    chan struct{}
+	closed  bool
+}
+
+type subWait struct {
+	waiting int
+	records []proto.WireRecord
+	done    chan struct{}
+	closed  bool
+}
+
+type trimWaitC struct {
+	waiting int
+	head    types.SN
+	tail    types.SN
+	done    chan struct{}
+	closed  bool
+}
+
+type multiWait struct {
+	done   chan struct{}
+	closed bool
+}
+
+// NewClient attaches a client to the in-process network.
+func NewClient(cfg ClientConfig, net *transport.Network) (*Client, error) {
+	c := newClient(cfg)
+	ep, err := net.Register(cfg.ID, c.handle)
+	if err != nil {
+		return nil, err
+	}
+	c.ep = ep
+	return c, nil
+}
+
+// NewClientWithEndpoint attaches a client over a custom endpoint (TCP).
+func NewClientWithEndpoint(cfg ClientConfig, attach func(h transport.Handler) (transport.Endpoint, error)) (*Client, error) {
+	c := newClient(cfg)
+	ep, err := attach(c.handle)
+	if err != nil {
+		return nil, err
+	}
+	c.ep = ep
+	return c, nil
+}
+
+func newClient(cfg ClientConfig) *Client {
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 50 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.FID)*2654435761 + 1
+	}
+	return &Client{
+		cfg:     cfg,
+		topo:    cfg.Topo,
+		rng:     rand.New(rand.NewSource(seed)),
+		appends: make(map[types.Token]*appendWait),
+		reads:   make(map[uint64]*readWait),
+		subs:    make(map[uint64]*subWait),
+		trims:   make(map[uint64]*trimWaitC),
+		multis:  make(map[uint64]*multiWait),
+		place:   make(map[placeKey]types.ShardID),
+	}
+}
+
+// rememberPlacement records which shard stores the SN range ending at last.
+func (c *Client) rememberPlacement(color types.ColorID, last types.SN, n int, shard types.ShardID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if len(c.place) >= placeCacheLimit {
+			for k := range c.place { // drop an arbitrary entry
+				delete(c.place, k)
+				break
+			}
+		}
+		c.place[placeKey{color, last - types.SN(i)}] = shard
+	}
+}
+
+// placement looks a cached SN location up.
+func (c *Client) placement(color types.ColorID, sn types.SN) (types.ShardID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, ok := c.place[placeKey{color, sn}]
+	return sh, ok
+}
+
+// FID returns the client's function id.
+func (c *Client) FID() uint32 { return c.cfg.FID }
+
+// SetColorAdder wires the provisioning backend used by AddColor.
+func (c *Client) SetColorAdder(a ColorAdder) { c.adder = a }
+
+// Close detaches the client.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.ep.Close()
+}
+
+func (c *Client) nextToken() types.Token {
+	return types.MakeToken(c.cfg.FID, c.counter.Add(1))
+}
+
+// handle dispatches responses to their waiters.
+func (c *Client) handle(from types.NodeID, msg transport.Message) {
+	switch m := msg.(type) {
+	case proto.AppendAck:
+		c.mu.Lock()
+		w := c.appends[m.Token]
+		if w != nil {
+			delete(w.needed, from)
+			if m.SN.Valid() {
+				w.sn = m.SN
+			}
+			if len(w.needed) == 0 && !w.closed {
+				w.closed = true
+				close(w.done)
+			}
+		}
+		c.mu.Unlock()
+	case proto.ReadResp:
+		c.mu.Lock()
+		w := c.reads[m.ID]
+		if w != nil && !w.closed {
+			w.waiting--
+			if m.Found {
+				w.data, w.found = m.Data, true
+			}
+			// First hit wins; all-⊥ completes when every shard answered.
+			if w.found || w.waiting <= 0 {
+				w.closed = true
+				close(w.done)
+			}
+		}
+		c.mu.Unlock()
+	case proto.SubscribeResp:
+		c.mu.Lock()
+		w := c.subs[m.ID]
+		if w != nil && !w.closed {
+			w.waiting--
+			w.records = append(w.records, m.Records...)
+			if w.waiting <= 0 {
+				w.closed = true
+				close(w.done)
+			}
+		}
+		c.mu.Unlock()
+	case proto.TrimAck:
+		c.mu.Lock()
+		w := c.trims[m.ID]
+		if w != nil && !w.closed {
+			w.waiting--
+			// Replicas report their local bounds; the color's global head
+			// is the smallest surviving SN, the tail the largest.
+			if m.Head.Valid() && (!w.head.Valid() || m.Head < w.head) {
+				w.head = m.Head
+			}
+			if m.Tail > w.tail {
+				w.tail = m.Tail
+			}
+			if w.waiting <= 0 {
+				w.closed = true
+				close(w.done)
+			}
+		}
+		c.mu.Unlock()
+	case proto.MultiAppendAck:
+		c.mu.Lock()
+		w := c.multis[m.ID]
+		if w != nil && !w.closed {
+			// Alg. 2 line 6: "wait(ack) from any replica in shard".
+			w.closed = true
+			close(w.done)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Append appends records to the log of color c and returns the SN of the
+// last record (Table 2; Alg. 1 client role). The call completes only after
+// every replica of the chosen shard committed and acknowledged the batch.
+func (c *Client) Append(records [][]byte, color types.ColorID) (types.SN, error) {
+	if len(records) == 0 {
+		return types.InvalidSN, fmt.Errorf("flexlog: empty append")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return types.InvalidSN, ErrClosed
+	}
+	shard, err := c.topo.RandomShard(color, c.rng)
+	c.mu.Unlock()
+	if err != nil {
+		return types.InvalidSN, err
+	}
+	sn, _, err := c.appendToShard(records, color, shard)
+	if err == nil && sn.Valid() {
+		c.rememberPlacement(color, sn, len(records), shard.ID)
+	}
+	return sn, err
+}
+
+// appendToShard runs the append protocol against a specific shard and
+// returns the assigned SN together with the token used.
+func (c *Client) appendToShard(records [][]byte, color types.ColorID, shard topology.ShardInfo) (types.SN, types.Token, error) {
+	token := c.nextToken()
+	w := &appendWait{needed: make(map[types.NodeID]bool, len(shard.Replicas)), done: make(chan struct{})}
+	for _, id := range shard.Replicas {
+		w.needed[id] = true
+	}
+	c.mu.Lock()
+	c.appends[token] = w
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.appends, token)
+		c.mu.Unlock()
+	}()
+
+	req := proto.AppendReq{Color: color, Token: token, Records: records, Client: c.cfg.ID}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	for {
+		c.ep.Broadcast(shard.Replicas, req)
+		select {
+		case <-w.done:
+			return w.sn, token, nil
+		case <-time.After(c.cfg.RetryInterval):
+			if time.Now().After(deadline) {
+				return types.InvalidSN, token, fmt.Errorf("%w: append %v to %v", ErrTimeout, token, color)
+			}
+		}
+	}
+}
+
+// Read returns the record with the given SN from the c-colored log, or
+// ErrNotFound for ⊥ (Table 2; §6.1). One replica of every shard of the
+// color is consulted; only the shard storing the record answers non-⊥.
+func (c *Client) Read(sn types.SN, color types.ColorID) ([]byte, error) {
+	shards := c.topo.ShardsInRegion(color)
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("flexlog: no shards for %v", color)
+	}
+	// Placement fast path: if the client knows which shard stores the SN
+	// (it appended it), ask a single replica of that shard only. A miss
+	// (stale hint, trimmed record) falls back to the full protocol.
+	if shardID, ok := c.placement(color, sn); ok {
+		if sh, err := c.topo.Shard(shardID); err == nil {
+			if data, err := c.readOnce(sn, color, []topology.ShardInfo{sh}); err == nil {
+				return data, nil
+			}
+		}
+	}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	for {
+		data, err := c.readOnce(sn, color, shards)
+		if err == nil {
+			return data, nil
+		}
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%w: read %v of %v", ErrTimeout, sn, color)
+		}
+		// Retry against (probably) different replicas — the paper's §6.3
+		// "forces the FaaS application to re-execute the read".
+	}
+}
+
+// readOnce runs one round of the read protocol against one replica of each
+// given shard. It returns ErrNotFound when every shard answered ⊥ and
+// ErrTimeout when some shard did not answer within the retry interval.
+func (c *Client) readOnce(sn types.SN, color types.ColorID, shards []topology.ShardInfo) ([]byte, error) {
+	id := c.reqSeq.Add(1)
+	w := &readWait{waiting: len(shards), done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.reads[id] = w
+	targets := make([]types.NodeID, len(shards))
+	for i, sh := range shards {
+		targets[i] = sh.Replicas[c.rng.Intn(len(sh.Replicas))]
+	}
+	c.mu.Unlock()
+
+	req := proto.ReadReq{ID: id, Color: color, SN: sn, Client: c.cfg.ID}
+	for _, t := range targets {
+		c.ep.Send(t, req)
+	}
+	var timedOut bool
+	select {
+	case <-w.done:
+	case <-time.After(c.cfg.RetryInterval):
+		timedOut = true
+	}
+	c.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.done)
+	}
+	delete(c.reads, id)
+	found, data := w.found, w.data
+	c.mu.Unlock()
+	if found {
+		return data, nil
+	}
+	if timedOut {
+		return nil, fmt.Errorf("%w: read round", ErrTimeout)
+	}
+	return nil, ErrNotFound
+}
+
+// Subscribe returns every committed record of the c-colored log, merged
+// across shards and sorted by SN (Table 2; §6.2). From is exclusive; use
+// types.InvalidSN for the full log.
+func (c *Client) Subscribe(color types.ColorID, from types.SN) ([]types.Record, error) {
+	shards := c.topo.ShardsInRegion(color)
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("flexlog: no shards for %v", color)
+	}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	for {
+		id := c.reqSeq.Add(1)
+		w := &subWait{waiting: len(shards), done: make(chan struct{})}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		c.subs[id] = w
+		targets := make([]types.NodeID, len(shards))
+		for i, sh := range shards {
+			targets[i] = sh.Replicas[c.rng.Intn(len(sh.Replicas))]
+		}
+		c.mu.Unlock()
+
+		req := proto.SubscribeReq{ID: id, Color: color, From: from, Client: c.cfg.ID}
+		for _, t := range targets {
+			c.ep.Send(t, req)
+		}
+		var ok bool
+		select {
+		case <-w.done:
+			ok = true
+		case <-time.After(c.cfg.RetryInterval):
+		}
+		c.mu.Lock()
+		if !w.closed {
+			w.closed = true
+			close(w.done)
+		}
+		delete(c.subs, id)
+		records := w.records
+		c.mu.Unlock()
+		if ok {
+			out := make([]types.Record, len(records))
+			for i, rec := range records {
+				out[i] = types.Record{Token: rec.Token, SN: rec.SN, Color: color, Data: rec.Data}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].SN < out[j].SN })
+			return out, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%w: subscribe %v", ErrTimeout, color)
+		}
+	}
+}
+
+// SubscribeChan returns a live stream of the c-colored log: all current
+// records followed by new ones as they commit, in SN order — the channel
+// form Listing 1 iterates (`for idx, record := <-log`). The stream is
+// implemented by polling Subscribe with the given interval and ends when
+// ctx is done (the channel is then closed).
+func (c *Client) SubscribeChan(ctx context.Context, color types.ColorID, poll time.Duration) (<-chan types.Record, error) {
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	// Validate the color up front so misuse fails fast.
+	if len(c.topo.ShardsInRegion(color)) == 0 {
+		return nil, fmt.Errorf("flexlog: no shards for %v", color)
+	}
+	out := make(chan types.Record, 64)
+	go func() {
+		defer close(out)
+		var cursor types.SN
+		for {
+			records, err := c.Subscribe(color, cursor)
+			if err == nil {
+				for _, r := range records {
+					select {
+					case out <- r:
+						if r.SN > cursor {
+							cursor = r.SN
+						}
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(poll):
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Trim garbage-collects the log of color c up to and including sn and
+// returns the remaining [head, tail] bounds (Table 2; §6.2).
+func (c *Client) Trim(sn types.SN, color types.ColorID) (head, tail types.SN, err error) {
+	replicas := c.topo.ReplicasInRegion(color)
+	if len(replicas) == 0 {
+		return 0, 0, fmt.Errorf("flexlog: no replicas for %v", color)
+	}
+	id := c.reqSeq.Add(1)
+	w := &trimWaitC{waiting: len(replicas), done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, 0, ErrClosed
+	}
+	c.trims[id] = w
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.trims, id)
+		c.mu.Unlock()
+	}()
+
+	req := proto.TrimReq{ID: id, Color: color, SN: sn, Client: c.cfg.ID}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	for {
+		c.ep.Broadcast(replicas, req)
+		select {
+		case <-w.done:
+			return w.head, w.tail, nil
+		case <-time.After(c.cfg.RetryInterval):
+			if time.Now().After(deadline) {
+				return 0, 0, fmt.Errorf("%w: trim %v of %v", ErrTimeout, sn, color)
+			}
+		}
+	}
+}
+
+// AddColor creates a new c-colored log with parent as its parent region
+// (Table 2). Requires a provisioning backend (the in-process Cluster).
+func (c *Client) AddColor(color, parent types.ColorID) error {
+	if c.adder == nil {
+		return fmt.Errorf("flexlog: no color provisioning backend configured")
+	}
+	return c.adder.AddColor(color, parent)
+}
+
+// MultiAppend atomically appends each record set to its corresponding
+// color (Alg. 2, §6.4): all sets become visible or none does. The broker
+// ("special") color must be known to all participants a priori; the master
+// region works by default.
+func (c *Client) MultiAppend(sets [][][]byte, colors []types.ColorID, special types.ColorID) error {
+	if len(sets) != len(colors) || len(sets) == 0 {
+		return fmt.Errorf("flexlog: %d record sets vs %d colors", len(sets), len(colors))
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	shard, err := c.topo.RandomShard(special, c.rng)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Phase 1: stage every set on the broker shard (Alg. 2 lines 3–4).
+	tokens := make([]types.Token, len(sets))
+	for i, records := range sets {
+		staged := replica.EncodeStaged(colors[i], c.cfg.FID, records)
+		_, token, err := c.appendToShard([][]byte{staged}, special, shard)
+		if err != nil {
+			return fmt.Errorf("flexlog: staging set %d: %w", i, err)
+		}
+		tokens[i] = token
+	}
+	// Phase 2: broadcast the end marker and wait for any broker ack
+	// (Alg. 2 lines 5–6).
+	id := c.reqSeq.Add(1)
+	w := &multiWait{done: make(chan struct{})}
+	c.mu.Lock()
+	c.multis[id] = w
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.multis, id)
+		c.mu.Unlock()
+	}()
+
+	endMsg := proto.MultiAppendEnd{ID: id, FID: c.cfg.FID, Tokens: tokens, Client: c.cfg.ID}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	for {
+		c.ep.Broadcast(shard.Replicas, endMsg)
+		select {
+		case <-w.done:
+			return nil
+		case <-time.After(c.cfg.RetryInterval):
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w: multi-append", ErrTimeout)
+			}
+		}
+	}
+}

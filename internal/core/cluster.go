@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flexlog/internal/replica"
+	"flexlog/internal/seq"
+	"flexlog/internal/storage"
+	"flexlog/internal/topology"
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+// Node-id allocation bands for the in-process deployment.
+const (
+	replicaIDBase   types.NodeID = 1
+	sequencerIDBase types.NodeID = 10_000
+	clientIDBase    types.NodeID = 100_000
+)
+
+// ClusterConfig sizes an in-process FlexLog deployment.
+type ClusterConfig struct {
+	// Link is the network model (transport.DatacenterLink for benches,
+	// transport.ZeroLink for tests).
+	Link transport.LinkModel
+	// Storage configures every replica's storage stack.
+	Storage storage.Config
+	// ReplicationFactor is the number of replicas per shard (default 3,
+	// as in the paper's evaluation).
+	ReplicationFactor int
+	// SeqBackups is the number of backup nodes per sequencer (2f; default
+	// 2, tolerating one failure).
+	SeqBackups int
+	// BatchInterval is the sequencer aggregation window (paper: 1 µs).
+	BatchInterval time.Duration
+	// HeartbeatInterval / FailureTimeout / RetryTimeout tune failure
+	// detection for tests vs benches.
+	HeartbeatInterval time.Duration
+	FailureTimeout    time.Duration
+	RetryTimeout      time.Duration
+	// ReadHoldTimeout is the replica read-hold window (§6.3; paper: 1 ms).
+	ReadHoldTimeout time.Duration
+	// ClientTimeout bounds client operations.
+	ClientTimeout time.Duration
+}
+
+// TestClusterConfig returns a latency-free configuration with fast failure
+// detection, for unit and integration tests.
+func TestClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Link:              transport.ZeroLink(),
+		Storage:           storage.TestConfig(),
+		ReplicationFactor: 3,
+		SeqBackups:        2,
+		BatchInterval:     0,
+		HeartbeatInterval: 3 * time.Millisecond,
+		// Generous relative to the heartbeat so CPU-contention hiccups in
+		// tests do not trigger spurious failovers: a new leader cannot
+		// serve until ALL region replicas ack its SeqInit (§5.2), so a
+		// spurious failover while any replica is crashed stalls the
+		// region — faithful to the paper, but not what a test that
+		// crashes replicas wants to exercise.
+		FailureTimeout:  60 * time.Millisecond,
+		RetryTimeout:    30 * time.Millisecond,
+		ReadHoldTimeout: 5 * time.Millisecond,
+		ClientTimeout:   10 * time.Second,
+	}
+}
+
+// BenchClusterConfig returns the calibrated configuration used by the
+// evaluation harness: datacenter link latencies, Optane PM storage, 1 µs
+// sequencer batching — the setup of §9 "Experimental Setup".
+func BenchClusterConfig() ClusterConfig {
+	cfg := TestClusterConfig()
+	cfg.Link = transport.DatacenterLink()
+	cfg.Storage = storage.DefaultConfig()
+	cfg.BatchInterval = time.Microsecond
+	cfg.HeartbeatInterval = 10 * time.Millisecond
+	cfg.FailureTimeout = 100 * time.Millisecond
+	cfg.RetryTimeout = 200 * time.Millisecond
+	cfg.ReadHoldTimeout = time.Millisecond // §6.3: "a timeout of 1 ms is safe"
+	return cfg
+}
+
+// Cluster is a complete in-process FlexLog deployment: network, topology,
+// sequencer tree and shards, plus factories for clients.
+type Cluster struct {
+	cfg  ClusterConfig
+	net  *transport.Network
+	topo *topology.Topology
+
+	mu        sync.Mutex
+	seqs      map[types.NodeID]*seq.Sequencer
+	replicas  map[types.NodeID]*replica.Replica
+	clients   []*Client
+	nextRepl  types.NodeID
+	nextSeq   types.NodeID
+	nextCli   types.NodeID
+	nextShard types.ShardID
+}
+
+// NewCluster creates an empty deployment; add regions and shards next.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 3
+	}
+	return &Cluster{
+		cfg:       cfg,
+		net:       transport.NewNetwork(cfg.Link),
+		topo:      topology.New(),
+		seqs:      make(map[types.NodeID]*seq.Sequencer),
+		replicas:  make(map[types.NodeID]*replica.Replica),
+		nextRepl:  replicaIDBase,
+		nextSeq:   sequencerIDBase,
+		nextCli:   clientIDBase,
+		nextShard: 1,
+	}
+}
+
+// Network exposes the in-process fabric for fault injection.
+func (cl *Cluster) Network() *transport.Network { return cl.net }
+
+// Topology exposes the shared layout.
+func (cl *Cluster) Topology() *topology.Topology { return cl.topo }
+
+// AddRegion declares a color and spawns its sequencer group (leader +
+// SeqBackups backups). The first region added is the master region.
+func (cl *Cluster) AddRegion(color, parent types.ColorID) error {
+	cl.mu.Lock()
+	leaderID := cl.nextSeq
+	backupIDs := make([]types.NodeID, cl.cfg.SeqBackups)
+	for i := range backupIDs {
+		backupIDs[i] = leaderID + types.NodeID(i) + 1
+	}
+	cl.nextSeq += types.NodeID(cl.cfg.SeqBackups) + 1
+	cl.mu.Unlock()
+
+	if err := cl.topo.AddRegion(color, parent, leaderID, backupIDs); err != nil {
+		return err
+	}
+	mk := func(id types.NodeID, leader bool) error {
+		scfg := seq.DefaultConfig()
+		scfg.ID = id
+		scfg.Region = color
+		scfg.Topo = cl.topo
+		scfg.BatchInterval = cl.cfg.BatchInterval
+		scfg.HeartbeatInterval = cl.cfg.HeartbeatInterval
+		scfg.FailureTimeout = cl.cfg.FailureTimeout
+		scfg.RetryTimeout = cl.cfg.RetryTimeout
+		scfg.StartAsLeader = leader
+		s, err := seq.New(scfg, cl.net)
+		if err != nil {
+			return err
+		}
+		cl.mu.Lock()
+		cl.seqs[id] = s
+		cl.mu.Unlock()
+		return nil
+	}
+	if err := mk(leaderID, true); err != nil {
+		return err
+	}
+	for _, id := range backupIDs {
+		if err := mk(id, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddShard attaches a new shard (ReplicationFactor replicas) to the given
+// leaf color and returns its id.
+func (cl *Cluster) AddShard(leaf types.ColorID) (types.ShardID, error) {
+	return cl.AddShardWithReplicas(leaf, cl.cfg.ReplicationFactor)
+}
+
+// AddShardWithReplicas attaches a shard with an explicit replica count
+// (used by the Fig. 8 replication-factor sweep).
+func (cl *Cluster) AddShardWithReplicas(leaf types.ColorID, replicas int) (types.ShardID, error) {
+	if replicas <= 0 {
+		return 0, fmt.Errorf("core: replication factor must be positive")
+	}
+	cl.mu.Lock()
+	shardID := cl.nextShard
+	cl.nextShard++
+	ids := make([]types.NodeID, replicas)
+	for i := range ids {
+		ids[i] = cl.nextRepl
+		cl.nextRepl++
+	}
+	cl.mu.Unlock()
+
+	if err := cl.topo.AddShard(shardID, leaf, ids); err != nil {
+		return 0, err
+	}
+	for _, id := range ids {
+		rcfg := replica.DefaultConfig()
+		rcfg.ID = id
+		rcfg.Shard = shardID
+		rcfg.Topo = cl.topo
+		rcfg.Store = cl.cfg.Storage
+		rcfg.ReadHoldTimeout = cl.cfg.ReadHoldTimeout
+		rcfg.HeartbeatInterval = cl.cfg.HeartbeatInterval
+		rcfg.RetryTimeout = cl.cfg.RetryTimeout
+		r, err := replica.New(rcfg, cl.net)
+		if err != nil {
+			return 0, err
+		}
+		cl.mu.Lock()
+		cl.replicas[id] = r
+		cl.mu.Unlock()
+	}
+	return shardID, nil
+}
+
+// AddColor provisions a new colored region under parent with one shard —
+// the dynamic Table 2 AddColor operation. Implements ColorAdder.
+func (cl *Cluster) AddColor(color, parent types.ColorID) error {
+	if cl.topo.HasColor(color) {
+		return nil // idempotent: creating an existing color is a no-op
+	}
+	if err := cl.AddRegion(color, parent); err != nil {
+		return err
+	}
+	_, err := cl.AddShard(color)
+	return err
+}
+
+// NewClient creates a client handle with a fresh FID.
+func (cl *Cluster) NewClient() (*Client, error) {
+	cl.mu.Lock()
+	id := cl.nextCli
+	cl.nextCli++
+	fid := uint32(id - clientIDBase + 1)
+	cl.mu.Unlock()
+	ccfg := ClientConfig{
+		FID:     fid,
+		ID:      id,
+		Topo:    cl.topo,
+		Timeout: cl.cfg.ClientTimeout,
+	}
+	if cl.cfg.RetryTimeout > 0 {
+		ccfg.RetryInterval = cl.cfg.RetryTimeout
+	}
+	c, err := NewClient(ccfg, cl.net)
+	if err != nil {
+		return nil, err
+	}
+	c.SetColorAdder(cl)
+	cl.mu.Lock()
+	cl.clients = append(cl.clients, c)
+	cl.mu.Unlock()
+	return c, nil
+}
+
+// Replica returns a replica by node id (fault injection in tests).
+func (cl *Cluster) Replica(id types.NodeID) *replica.Replica {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.replicas[id]
+}
+
+// Replicas returns the replicas of a shard in id order.
+func (cl *Cluster) Replicas(shard types.ShardID) []*replica.Replica {
+	sh, err := cl.topo.Shard(shard)
+	if err != nil {
+		return nil
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]*replica.Replica, 0, len(sh.Replicas))
+	for _, id := range sh.Replicas {
+		if r := cl.replicas[id]; r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Sequencer returns a sequencer node by id.
+func (cl *Cluster) Sequencer(id types.NodeID) *seq.Sequencer {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.seqs[id]
+}
+
+// LeaderOf returns the currently-serving leader sequencer of a color.
+func (cl *Cluster) LeaderOf(color types.ColorID) *seq.Sequencer {
+	leader, err := cl.topo.Leader(color)
+	if err != nil {
+		return nil
+	}
+	return cl.Sequencer(leader)
+}
+
+// SequencersOf returns all sequencer nodes (leader + backups) of a color.
+func (cl *Cluster) SequencersOf(color types.ColorID) []*seq.Sequencer {
+	si, err := cl.topo.Sequencer(color)
+	if err != nil {
+		return nil
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var out []*seq.Sequencer
+	for _, id := range si.Members {
+		if s := cl.seqs[id]; s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Stop shuts every node down.
+func (cl *Cluster) Stop() {
+	cl.mu.Lock()
+	seqs := make([]*seq.Sequencer, 0, len(cl.seqs))
+	for _, s := range cl.seqs {
+		seqs = append(seqs, s)
+	}
+	reps := make([]*replica.Replica, 0, len(cl.replicas))
+	for _, r := range cl.replicas {
+		reps = append(reps, r)
+	}
+	clients := cl.clients
+	cl.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	for _, s := range seqs {
+		s.Stop()
+	}
+	for _, r := range reps {
+		r.Stop()
+	}
+}
+
+// SimpleCluster builds the common single-region deployment: the master
+// color with `shards` shards, each with the configured replication factor.
+func SimpleCluster(cfg ClusterConfig, shards int) (*Cluster, error) {
+	cl := NewCluster(cfg)
+	if err := cl.AddRegion(types.MasterColor, types.MasterColor); err != nil {
+		return nil, err
+	}
+	for i := 0; i < shards; i++ {
+		if _, err := cl.AddShard(types.MasterColor); err != nil {
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// TreeCluster builds the paper's Figure 2 style deployment: a master
+// region with `leaves` child regions, each child with `shardsPerLeaf`
+// shards attached.
+func TreeCluster(cfg ClusterConfig, leaves, shardsPerLeaf int) (*Cluster, error) {
+	cl := NewCluster(cfg)
+	if err := cl.AddRegion(types.MasterColor, types.MasterColor); err != nil {
+		return nil, err
+	}
+	for leaf := 1; leaf <= leaves; leaf++ {
+		color := types.ColorID(leaf)
+		if err := cl.AddRegion(color, types.MasterColor); err != nil {
+			return nil, err
+		}
+		for s := 0; s < shardsPerLeaf; s++ {
+			if _, err := cl.AddShard(color); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cl, nil
+}

@@ -1,0 +1,11 @@
+package core
+
+import (
+	"flexlog/internal/replica"
+	"flexlog/internal/types"
+)
+
+// encodeStagedForTest exposes the staging encoder to tests.
+func encodeStagedForTest(target types.ColorID, fid uint32, records [][]byte) []byte {
+	return replica.EncodeStaged(target, fid, records)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"flexlog/internal/types"
+)
+
+func TestSubscribeChanStreamsExistingAndNew(t *testing.T) {
+	_, c := newSimple(t, 2)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Append([][]byte{fmt.Appendf(nil, "pre-%d", i)}, types.MasterColor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := c.SubscribeChan(ctx, types.MasterColor, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Existing records arrive first, in order.
+	var got []string
+	deadline := time.After(5 * time.Second)
+	for len(got) < 5 {
+		select {
+		case r := <-ch:
+			got = append(got, string(r.Data))
+		case <-deadline:
+			t.Fatalf("existing records not streamed; got %v", got)
+		}
+	}
+	for i, g := range got {
+		if g != fmt.Sprintf("pre-%d", i) {
+			t.Fatalf("stream order broken at %d: %q", i, g)
+		}
+	}
+	// New appends keep flowing.
+	if _, err := c.Append([][]byte{[]byte("live")}, types.MasterColor); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-ch:
+		if string(r.Data) != "live" {
+			t.Fatalf("live record = %q", r.Data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live append never streamed")
+	}
+}
+
+func TestSubscribeChanNoDuplicates(t *testing.T) {
+	_, c := newSimple(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := c.SubscribeChan(ctx, types.MasterColor, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	go func() {
+		for i := 0; i < n; i++ {
+			c.Append([][]byte{fmt.Appendf(nil, "r%02d", i)}, types.MasterColor)
+		}
+	}()
+	seen := make(map[types.SN]bool)
+	deadline := time.After(10 * time.Second)
+	for len(seen) < n {
+		select {
+		case r := <-ch:
+			if seen[r.SN] {
+				t.Fatalf("duplicate SN %v streamed", r.SN)
+			}
+			seen[r.SN] = true
+		case <-deadline:
+			t.Fatalf("stream stalled at %d/%d", len(seen), n)
+		}
+	}
+}
+
+func TestSubscribeChanCloseOnCancel(t *testing.T) {
+	_, c := newSimple(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := c.SubscribeChan(ctx, types.MasterColor, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return // closed as promised
+			}
+		case <-deadline:
+			t.Fatal("channel not closed after cancel")
+		}
+	}
+}
+
+func TestSubscribeChanUnknownColor(t *testing.T) {
+	_, c := newSimple(t, 1)
+	if _, err := c.SubscribeChan(context.Background(), 42, time.Millisecond); err == nil {
+		t.Fatal("unknown color accepted")
+	}
+}

@@ -1,0 +1,206 @@
+// Package deploy loads the JSON cluster manifest used by the TCP
+// deployment binaries (cmd/flexlog-server, cmd/flexlog-cli): node
+// addresses, the region (color) tree with each region's sequencer group,
+// and the shard layout.
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"flexlog/internal/proto"
+	"flexlog/internal/topology"
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+// Manifest describes a FlexLog deployment.
+type Manifest struct {
+	// Nodes maps node id -> "host:port".
+	Nodes map[types.NodeID]string `json:"nodes"`
+	// Regions declare the color tree; the first entry must be the master
+	// region (its Parent is ignored).
+	Regions []RegionSpec `json:"regions"`
+	// Shards attach replica groups to leaf colors.
+	Shards []ShardSpec `json:"shards"`
+}
+
+// RegionSpec is one color and its sequencer group.
+type RegionSpec struct {
+	Color   types.ColorID  `json:"color"`
+	Parent  types.ColorID  `json:"parent"`
+	Leader  types.NodeID   `json:"leader"`
+	Backups []types.NodeID `json:"backups,omitempty"`
+}
+
+// ShardSpec is one replica group.
+type ShardSpec struct {
+	ID       types.ShardID  `json:"id"`
+	Leaf     types.ColorID  `json:"leaf"`
+	Replicas []types.NodeID `json:"replicas"`
+}
+
+// Load reads and validates a manifest file.
+func Load(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(raw)
+}
+
+// Parse validates a manifest from raw JSON.
+func Parse(raw []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("deploy: parsing manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks the manifest's internal consistency.
+func (m *Manifest) Validate() error {
+	if len(m.Regions) == 0 {
+		return fmt.Errorf("deploy: no regions declared")
+	}
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("deploy: no node addresses declared")
+	}
+	known := func(id types.NodeID) error {
+		if _, ok := m.Nodes[id]; !ok {
+			return fmt.Errorf("deploy: node %v has no address", id)
+		}
+		return nil
+	}
+	colors := make(map[types.ColorID]bool)
+	for i, r := range m.Regions {
+		if colors[r.Color] {
+			return fmt.Errorf("deploy: duplicate region %v", r.Color)
+		}
+		if i > 0 && !colors[r.Parent] {
+			return fmt.Errorf("deploy: region %v references undeclared parent %v (parents must be declared first)", r.Color, r.Parent)
+		}
+		colors[r.Color] = true
+		if err := known(r.Leader); err != nil {
+			return err
+		}
+		for _, b := range r.Backups {
+			if err := known(b); err != nil {
+				return err
+			}
+		}
+	}
+	shardIDs := make(map[types.ShardID]bool)
+	for _, s := range m.Shards {
+		if shardIDs[s.ID] {
+			return fmt.Errorf("deploy: duplicate shard %v", s.ID)
+		}
+		shardIDs[s.ID] = true
+		if !colors[s.Leaf] {
+			return fmt.Errorf("deploy: shard %v references undeclared color %v", s.ID, s.Leaf)
+		}
+		if len(s.Replicas) == 0 {
+			return fmt.Errorf("deploy: shard %v has no replicas", s.ID)
+		}
+		for _, r := range s.Replicas {
+			if err := known(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Topology materializes the manifest's layout.
+func (m *Manifest) Topology() (*topology.Topology, error) {
+	topo := topology.New()
+	for _, r := range m.Regions {
+		if err := topo.AddRegion(r.Color, r.Parent, r.Leader, r.Backups); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range m.Shards {
+		if err := topo.AddShard(s.ID, s.Leaf, s.Replicas); err != nil {
+			return nil, err
+		}
+	}
+	return topo, nil
+}
+
+// AddressBook materializes the node address map.
+func (m *Manifest) AddressBook() *transport.AddressBook {
+	addrs := make(map[types.NodeID]string, len(m.Nodes))
+	for id, a := range m.Nodes {
+		addrs[id] = a
+	}
+	return transport.NewAddressBook(addrs)
+}
+
+// Role describes what a node id does in the manifest.
+type Role struct {
+	Kind   string // "replica", "sequencer", or "unknown"
+	Shard  types.ShardID
+	Region types.ColorID
+}
+
+// RoleOf resolves a node id's role.
+func (m *Manifest) RoleOf(id types.NodeID) Role {
+	for _, s := range m.Shards {
+		for _, r := range s.Replicas {
+			if r == id {
+				return Role{Kind: "replica", Shard: s.ID}
+			}
+		}
+	}
+	for _, r := range m.Regions {
+		if r.Leader == id {
+			return Role{Kind: "sequencer", Region: r.Color}
+		}
+		for _, b := range r.Backups {
+			if b == id {
+				return Role{Kind: "sequencer", Region: r.Color}
+			}
+		}
+	}
+	return Role{Kind: "unknown"}
+}
+
+// NodeIDs returns every node id in the manifest, sorted.
+func (m *Manifest) NodeIDs() []types.NodeID {
+	ids := make([]types.NodeID, 0, len(m.Nodes))
+	for id := range m.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RegisterWire registers every protocol message for gob (TCP transport).
+func RegisterWire() { proto.RegisterGob() }
+
+// Example returns a ready-to-edit single-host manifest: one master region
+// with a 3-sequencer group and one shard of three replicas.
+func Example() *Manifest {
+	return &Manifest{
+		Nodes: map[types.NodeID]string{
+			1:   "127.0.0.1:7101",
+			2:   "127.0.0.1:7102",
+			3:   "127.0.0.1:7103",
+			900: "127.0.0.1:7900",
+			901: "127.0.0.1:7901",
+			902: "127.0.0.1:7902",
+			500: "127.0.0.1:7500",
+		},
+		Regions: []RegionSpec{
+			{Color: 0, Leader: 900, Backups: []types.NodeID{901, 902}},
+		},
+		Shards: []ShardSpec{
+			{ID: 1, Leaf: 0, Replicas: []types.NodeID{1, 2, 3}},
+		},
+	}
+}

@@ -1,0 +1,102 @@
+package deploy
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flexlog/internal/types"
+)
+
+func TestExampleValidates(t *testing.T) {
+	m := Example()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := m.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := topo.Leader(0); l != 900 {
+		t.Fatalf("leader = %v", l)
+	}
+	book := m.AddressBook()
+	if a, ok := book.Lookup(1); !ok || a == "" {
+		t.Fatal("address book missing node 1")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	m := Example()
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != len(m.Nodes) || len(got.Shards) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Fatal("bad json should error")
+	}
+}
+
+func TestValidationRejects(t *testing.T) {
+	cases := map[string]func(*Manifest){
+		"no regions":       func(m *Manifest) { m.Regions = nil },
+		"no nodes":         func(m *Manifest) { m.Nodes = nil },
+		"unknown leader":   func(m *Manifest) { m.Regions[0].Leader = 999 },
+		"unknown backup":   func(m *Manifest) { m.Regions[0].Backups = []types.NodeID{999} },
+		"unknown replica":  func(m *Manifest) { m.Shards[0].Replicas = []types.NodeID{999} },
+		"empty shard":      func(m *Manifest) { m.Shards[0].Replicas = nil },
+		"unknown leaf":     func(m *Manifest) { m.Shards[0].Leaf = 42 },
+		"duplicate region": func(m *Manifest) { m.Regions = append(m.Regions, m.Regions[0]) },
+		"duplicate shard":  func(m *Manifest) { m.Shards = append(m.Shards, m.Shards[0]) },
+		"orphan parent": func(m *Manifest) {
+			m.Regions = append(m.Regions, RegionSpec{Color: 5, Parent: 42, Leader: 900})
+		},
+	}
+	for name, mutate := range cases {
+		m := Example()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+}
+
+func TestRoleOf(t *testing.T) {
+	m := Example()
+	if r := m.RoleOf(1); r.Kind != "replica" || r.Shard != 1 {
+		t.Fatalf("role of 1 = %+v", r)
+	}
+	if r := m.RoleOf(901); r.Kind != "sequencer" || r.Region != 0 {
+		t.Fatalf("role of 901 = %+v", r)
+	}
+	if r := m.RoleOf(900); r.Kind != "sequencer" {
+		t.Fatalf("role of 900 = %+v", r)
+	}
+	if r := m.RoleOf(12345); r.Kind != "unknown" {
+		t.Fatalf("role of 12345 = %+v", r)
+	}
+}
+
+func TestNodeIDsSorted(t *testing.T) {
+	ids := Example().NodeIDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("ids not sorted")
+		}
+	}
+}

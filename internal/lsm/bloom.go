@@ -1,0 +1,68 @@
+package lsm
+
+import "hash/fnv"
+
+// bloomFilter is a standard split Bloom filter with double hashing,
+// attached to each SSTable so reads skip tables that cannot contain the
+// key (the same role RocksDB's per-table filters play in Boki's read
+// path).
+type bloomFilter struct {
+	bits []uint64
+	k    int
+}
+
+// newBloomFilter sizes a filter for n keys at ~10 bits/key (k=7 gives
+// ≈0.8% false positives, RocksDB's default ballpark).
+func newBloomFilter(n int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * 10
+	words := (nbits + 63) / 64
+	return &bloomFilter{bits: make([]uint64, words), k: 7}
+}
+
+// fromBits restores a filter from its serialized form.
+func bloomFromBits(bits []uint64, k int) *bloomFilter {
+	return &bloomFilter{bits: bits, k: k}
+}
+
+func bloomHash(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31 // derived second hash
+	if h2 == 0 {
+		h2 = 0x9E3779B97F4A7C15
+	}
+	return h1, h2
+}
+
+func (b *bloomFilter) add(key []byte) {
+	if len(b.bits) == 0 {
+		return
+	}
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mayContain reports whether the key may be present (false = definitely
+// absent). A degenerate (empty) filter filters nothing.
+func (b *bloomFilter) mayContain(key []byte) bool {
+	if len(b.bits) == 0 {
+		return true
+	}
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

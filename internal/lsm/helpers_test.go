@@ -1,0 +1,5 @@
+package lsm
+
+import "flexlog/internal/ssd"
+
+func newTestDevice() *ssd.Device { return ssd.New(ssd.Zero()) }

@@ -1,0 +1,294 @@
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+// ErrStopped is returned when proposing on a stopped proposer.
+var ErrStopped = errors.New("paxos: proposer stopped")
+
+// ProposerConfig parameterizes a proposer.
+type ProposerConfig struct {
+	ID        types.NodeID
+	Acceptors []types.NodeID
+	// SkipPhase1 enables the Multi-Paxos optimization: a stable, unique
+	// leader runs only the Accept phase per slot. Only safe while no other
+	// proposer is active (§3.3: "optimized versions elect a unique primary
+	// to handle all requests").
+	SkipPhase1 bool
+	// PhaseTimeout bounds one phase round-trip before a retry.
+	PhaseTimeout time.Duration
+	// MaxAttempts bounds retries per slot (0 = unbounded). The livelock
+	// experiment uses a bound to measure preemptions without hanging.
+	MaxAttempts int
+}
+
+// ProposerStats counts proposer-side events; Preemptions is the §3.3
+// livelock evidence (ballots that lost to a competing proposer).
+type ProposerStats struct {
+	Proposals   uint64
+	Decided     uint64
+	Preemptions uint64
+	StolenSlots uint64 // slots decided with another proposer's value
+}
+
+// phaseKey correlates responses to an outstanding phase.
+type phaseKey struct {
+	ballot Ballot
+	slot   uint64
+}
+
+type phaseWait struct {
+	oks      map[types.NodeID]Promise  // phase 1
+	accepted map[types.NodeID]Accepted // phase 2
+	rejects  int
+	highest  Ballot // highest ballot seen in rejections
+	need     int
+	done     chan struct{}
+	closed   bool
+}
+
+// Proposer drives Paxos rounds against a set of acceptors.
+type Proposer struct {
+	cfg ProposerConfig
+	ep  transport.Endpoint
+
+	mu      sync.Mutex
+	round   uint32
+	p1      map[phaseKey]*phaseWait
+	p2      map[phaseKey]*phaseWait
+	stats   ProposerStats
+	stopped bool
+}
+
+// NewProposer creates and registers a proposer.
+func NewProposer(cfg ProposerConfig, net *transport.Network) (*Proposer, error) {
+	if cfg.PhaseTimeout <= 0 {
+		cfg.PhaseTimeout = 100 * time.Millisecond
+	}
+	p := &Proposer{
+		cfg:   cfg,
+		round: 1,
+		p1:    make(map[phaseKey]*phaseWait),
+		p2:    make(map[phaseKey]*phaseWait),
+	}
+	ep, err := net.Register(cfg.ID, p.handle)
+	if err != nil {
+		return nil, err
+	}
+	p.ep = ep
+	return p, nil
+}
+
+// Stats returns a snapshot of the proposer counters.
+func (p *Proposer) Stats() ProposerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Stop makes further proposals fail.
+func (p *Proposer) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.ep.Close()
+}
+
+func (p *Proposer) majority() int { return len(p.cfg.Acceptors)/2 + 1 }
+
+func (p *Proposer) handle(from types.NodeID, msg transport.Message) {
+	switch m := msg.(type) {
+	case Promise:
+		key := phaseKey{ballot: m.Ballot, slot: m.Slot}
+		p.mu.Lock()
+		w := p.p1[key]
+		if w == nil && !m.OK {
+			// A rejection carries the acceptor's promised ballot, not
+			// ours; find the waiter by slot.
+			for k, cand := range p.p1 {
+				if k.slot == m.Slot {
+					w, key = cand, k
+					break
+				}
+			}
+		}
+		if w != nil && !w.closed {
+			if m.OK {
+				w.oks[m.From] = m
+			} else {
+				w.rejects++
+				if m.Ballot > w.highest {
+					w.highest = m.Ballot
+				}
+			}
+			if len(w.oks) >= w.need || w.rejects >= w.need {
+				w.closed = true
+				close(w.done)
+			}
+		}
+		p.mu.Unlock()
+	case Accepted:
+		key := phaseKey{ballot: m.Ballot, slot: m.Slot}
+		p.mu.Lock()
+		w := p.p2[key]
+		if w == nil && !m.OK {
+			for k, cand := range p.p2 {
+				if k.slot == m.Slot {
+					w, key = cand, k
+					break
+				}
+			}
+		}
+		if w != nil && !w.closed {
+			if m.OK {
+				w.accepted[m.From] = m
+			} else {
+				w.rejects++
+				if m.Ballot > w.highest {
+					w.highest = m.Ballot
+				}
+			}
+			if len(w.accepted) >= w.need || w.rejects >= w.need {
+				w.closed = true
+				close(w.done)
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// ProposeSlot runs Paxos for one slot and returns the value decided there
+// (which may be a competing proposer's value — callers retry on the next
+// slot in that case).
+func (p *Proposer) ProposeSlot(slot uint64, v Value) (Value, error) {
+	attempts := 0
+	for {
+		p.mu.Lock()
+		if p.stopped {
+			p.mu.Unlock()
+			return Value{}, ErrStopped
+		}
+		b := MakeBallot(p.round, p.cfg.ID)
+		p.stats.Proposals++
+		p.mu.Unlock()
+
+		attempts++
+		if p.cfg.MaxAttempts > 0 && attempts > p.cfg.MaxAttempts {
+			return Value{}, fmt.Errorf("paxos: slot %d undecided after %d attempts (livelock)", slot, attempts-1)
+		}
+
+		vUse := v
+		// The Multi-Paxos fast path is only safe while this proposer's
+		// ballot has never been preempted on the slot: after a rejection a
+		// competitor may have gotten a value accepted, and Phase 1 is the
+		// only way to discover (and re-propose) it. Skipping it after a
+		// preemption would re-decide a settled slot — a safety violation.
+		if !p.cfg.SkipPhase1 || attempts > 1 {
+			promised, chosen, preempted := p.phase1(b, slot)
+			if !promised {
+				p.bumpRound(preempted)
+				continue
+			}
+			if !chosen.zero() {
+				vUse = chosen // must re-propose the highest accepted value
+			}
+		}
+		ok, preempted := p.phase2(b, slot, vUse)
+		if !ok {
+			p.bumpRound(preempted)
+			continue
+		}
+		p.mu.Lock()
+		p.stats.Decided++
+		if vUse.ReqID != v.ReqID || vUse.From != v.From {
+			p.stats.StolenSlots++
+		}
+		p.mu.Unlock()
+		return vUse, nil
+	}
+}
+
+// bumpRound advances past the highest ballot that beat us.
+func (p *Proposer) bumpRound(seen Ballot) {
+	p.mu.Lock()
+	p.stats.Preemptions++
+	if seen.Round() >= p.round {
+		p.round = seen.Round() + 1
+	} else {
+		p.round++
+	}
+	p.mu.Unlock()
+}
+
+// phase1 runs Prepare/Promise. Returns (majorityPromised, highest accepted
+// value to re-propose, highest rejecting ballot).
+func (p *Proposer) phase1(b Ballot, slot uint64) (bool, Value, Ballot) {
+	key := phaseKey{ballot: b, slot: slot}
+	w := &phaseWait{oks: make(map[types.NodeID]Promise), accepted: map[types.NodeID]Accepted{}, need: p.majority(), done: make(chan struct{})}
+	p.mu.Lock()
+	p.p1[key] = w
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.p1, key)
+		p.mu.Unlock()
+	}()
+	p.ep.Broadcast(p.cfg.Acceptors, Prepare{Ballot: b, Slot: slot})
+	select {
+	case <-w.done:
+	case <-time.After(p.cfg.PhaseTimeout):
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !w.closed {
+		w.closed = true
+		close(w.done)
+	}
+	if len(w.oks) < w.need {
+		return false, Value{}, w.highest
+	}
+	var best Promise
+	for _, pr := range w.oks {
+		if pr.AcceptedBallot > best.AcceptedBallot {
+			best = pr
+		}
+	}
+	return true, best.AcceptedValue, 0
+}
+
+// phase2 runs Accept/Accepted. Returns (majorityAccepted, highest
+// rejecting ballot).
+func (p *Proposer) phase2(b Ballot, slot uint64, v Value) (bool, Ballot) {
+	key := phaseKey{ballot: b, slot: slot}
+	w := &phaseWait{oks: map[types.NodeID]Promise{}, accepted: make(map[types.NodeID]Accepted), need: p.majority(), done: make(chan struct{})}
+	p.mu.Lock()
+	p.p2[key] = w
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.p2, key)
+		p.mu.Unlock()
+	}()
+	p.ep.Broadcast(p.cfg.Acceptors, Accept{Ballot: b, Slot: slot, Value: v})
+	select {
+	case <-w.done:
+	case <-time.After(p.cfg.PhaseTimeout):
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !w.closed {
+		w.closed = true
+		close(w.done)
+	}
+	if len(w.accepted) < w.need {
+		return false, w.highest
+	}
+	return true, 0
+}

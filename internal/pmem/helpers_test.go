@@ -1,0 +1,14 @@
+package pmem
+
+import (
+	"testing"
+
+	"flexlog/internal/simclock"
+)
+
+// enableInjection turns latency injection on and returns a restore func.
+func enableInjection(t *testing.T) func() {
+	t.Helper()
+	prev := simclock.Enable(true)
+	return func() { simclock.Enable(prev) }
+}

@@ -1,0 +1,131 @@
+package pmem
+
+import "fmt"
+
+// Tx is an undo-log transaction over a Pool, mirroring PMDK's
+// BEGIN/PUT/GET/COMMIT/ROLLBACK API. Stores made through a Tx are applied to
+// the arena immediately, but the pre-images are retained in the undo log:
+// Abort (or crash recovery) restores them, Commit discards them.
+//
+// A Tx must be used by a single goroutine; distinct transactions on the same
+// pool may run concurrently and the caller is responsible for not making
+// them overlap in address ranges (as with libpmemobj).
+type Tx struct {
+	pool  *Pool
+	id    uint64
+	undo  []undoRecord
+	state txState
+}
+
+type txState int
+
+const (
+	txActive txState = iota
+	txCommitted
+	txAborted
+)
+
+type undoRecord struct {
+	off uint64
+	old []byte
+}
+
+// Begin starts a transaction.
+func (p *Pool) Begin() (*Tx, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return nil, ErrCrashed
+	}
+	p.txSeq++
+	tx := &Tx{pool: p, id: p.txSeq}
+	p.active[tx.id] = tx
+	return tx, nil
+}
+
+// Put transactionally stores data at off: the previous contents are
+// snapshotted to the undo log first (charged as an extra device write, as
+// PMDK does), then the new data is applied.
+func (tx *Tx) Put(off uint64, data []byte) error {
+	if tx.state != txActive {
+		return ErrTxDone
+	}
+	p := tx.pool
+	p.mu.Lock()
+	if p.crashed {
+		p.mu.Unlock()
+		return ErrCrashed
+	}
+	if off+uint64(len(data)) > uint64(len(p.data)) {
+		p.mu.Unlock()
+		return ErrOutOfRange
+	}
+	old := make([]byte, len(data))
+	copy(old, p.data[off:])
+	tx.undo = append(tx.undo, undoRecord{off: off, old: old})
+	copy(p.data[off:], data)
+	p.mu.Unlock()
+	// One write for the undo snapshot, one for the data itself.
+	p.model.waitWrite(len(data))
+	p.model.waitWrite(len(data))
+	p.count(func(s *Stats) { s.Writes += 2; s.BytesWritten += 2 * uint64(len(data)) })
+	return nil
+}
+
+// Get reads len(buf) bytes at off within the transaction (equivalent to a
+// plain read; provided for API symmetry with PMDK's GET).
+func (tx *Tx) Get(off uint64, buf []byte) error {
+	if tx.state != txActive {
+		return ErrTxDone
+	}
+	return tx.pool.Read(off, buf)
+}
+
+// Commit makes the transaction's stores durable and discards the undo log.
+func (tx *Tx) Commit() error {
+	if tx.state != txActive {
+		return ErrTxDone
+	}
+	p := tx.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return ErrCrashed
+	}
+	tx.state = txCommitted
+	tx.undo = nil
+	delete(p.active, tx.id)
+	p.stats.TxCommits++
+	return nil
+}
+
+// Abort rolls every store of the transaction back.
+func (tx *Tx) Abort() error {
+	if tx.state != txActive {
+		return ErrTxDone
+	}
+	p := tx.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return ErrCrashed
+	}
+	tx.applyUndoLocked(p)
+	tx.state = txAborted
+	delete(p.active, tx.id)
+	p.stats.TxAborts++
+	return nil
+}
+
+// applyUndoLocked restores pre-images in reverse order. Caller holds p.mu.
+func (tx *Tx) applyUndoLocked(p *Pool) {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		r := tx.undo[i]
+		copy(p.data[r.off:], r.old)
+	}
+	tx.undo = nil
+}
+
+func (tx *Tx) String() string {
+	return fmt.Sprintf("pmem.Tx(id=%d, undo=%d, state=%d)", tx.id, len(tx.undo), tx.state)
+}

@@ -1,0 +1,295 @@
+// Package proto defines the wire messages of every FlexLog protocol
+// (§6.1–§6.4): the client append/read/subscribe/trim requests, the ordering
+// layer's order requests and responses (including the aggregated tree
+// forms), the heartbeat/election traffic of sequencer fault tolerance
+// (§5.2), and the replica sync-phase messages (§6.3).
+//
+// All message types are registered with encoding/gob so they can travel
+// over the TCP transport unchanged.
+package proto
+
+import (
+	"encoding/gob"
+
+	"flexlog/internal/types"
+)
+
+// ---- Client ↔ replica (Alg. 1 client/replica rounds) ----
+
+// AppendReq is the client's round-1 broadcast to all replicas of a shard.
+type AppendReq struct {
+	Color   types.ColorID
+	Token   types.Token
+	Records [][]byte
+	Client  types.NodeID
+}
+
+// AppendAck is a replica's round-4 acknowledgement carrying the SN of the
+// last record of the batch.
+type AppendAck struct {
+	Token types.Token
+	SN    types.SN
+}
+
+// ReadReq asks one replica of a shard for the record at (Color, SN).
+type ReadReq struct {
+	ID     uint64 // client-chosen correlation id
+	Color  types.ColorID
+	SN     types.SN
+	Client types.NodeID
+}
+
+// ReadResp carries the record payload, or Found=false for ⊥ (§6.1).
+type ReadResp struct {
+	ID    uint64
+	SN    types.SN
+	Data  []byte
+	Found bool
+}
+
+// SubscribeReq asks one replica of a shard for its local view of a color's
+// log with SN > From.
+type SubscribeReq struct {
+	ID     uint64
+	Color  types.ColorID
+	From   types.SN
+	Client types.NodeID
+}
+
+// WireRecord is a record as shipped in subscribe responses and sync fetches.
+type WireRecord struct {
+	Token types.Token
+	SN    types.SN
+	Data  []byte
+}
+
+// SubscribeResp returns a replica's local (committed) view, sorted by SN.
+type SubscribeResp struct {
+	ID      uint64
+	Color   types.ColorID
+	Records []WireRecord
+}
+
+// TrimReq asks every replica of every shard of the color to delete records
+// with SN <= SN.
+type TrimReq struct {
+	ID     uint64
+	Color  types.ColorID
+	SN     types.SN
+	Client types.NodeID
+}
+
+// TrimPeerAck is the replica-to-replica acknowledgement round of the trim
+// protocol (§6.2: "all replicas acknowledge the operation to all replicas").
+type TrimPeerAck struct {
+	ID    uint64
+	Color types.ColorID
+	SN    types.SN
+	From  types.NodeID
+}
+
+// TrimAck is the final [head, tail] answer to the caller.
+type TrimAck struct {
+	ID    uint64
+	Color types.ColorID
+	Head  types.SN
+	Tail  types.SN
+}
+
+// ---- Multi-color append (Alg. 2) ----
+
+// MultiAppendEnd is the client's "end" marker broadcast to the broker
+// shard's replicas after all staged appends acked.
+type MultiAppendEnd struct {
+	ID     uint64
+	FID    uint32 // whose staged records to replay
+	Tokens []types.Token
+	Client types.NodeID
+}
+
+// MultiAppendAck signals that a broker replica finished replaying the
+// staged records into their target colors.
+type MultiAppendAck struct {
+	ID uint64
+}
+
+// ---- Replica ↔ ordering layer (Alg. 1 sequencer rounds) ----
+
+// OrderReq asks the ordering layer for NRecords sequence numbers in Color.
+// Replicas carries the shard membership so the leaf sequencer can broadcast
+// the response to every replica (Alg. 1 line 35).
+type OrderReq struct {
+	Color    types.ColorID
+	Token    types.Token
+	NRecords uint32
+	Shard    types.ShardID
+	Replicas []types.NodeID
+}
+
+// OrderResp delivers the SN of the last record of the batch to all replicas
+// of the shard.
+type OrderResp struct {
+	Token    types.Token
+	LastSN   types.SN
+	NRecords uint32
+	Color    types.ColorID
+}
+
+// ---- Sequencer tree internals (§5.2 ordering layer) ----
+
+// AggOrderReq is a merged order request forwarded up the sequencer tree:
+// Total sequence numbers are requested for Color on behalf of the child
+// sequencer From (§5.2: sub-region sequencers "serve as aggregators").
+type AggOrderReq struct {
+	Color   types.ColorID
+	BatchID uint64
+	Total   uint32
+	From    types.NodeID
+}
+
+// AggOrderResp returns the last SN of the range assigned to the batch.
+type AggOrderResp struct {
+	BatchID uint64
+	LastSN  types.SN
+	Color   types.ColorID
+}
+
+// ---- Sequencer fault tolerance (§5.2 sequencer replication) ----
+
+// SeqHeartbeat is sent by the active sequencer to its backups.
+type SeqHeartbeat struct {
+	Epoch types.Epoch
+	From  types.NodeID
+}
+
+// SeqHeartbeatAck confirms a heartbeat; the leader needs a majority to
+// stay active (split-brain avoidance).
+type SeqHeartbeatAck struct {
+	Epoch types.Epoch
+	From  types.NodeID
+}
+
+// EpochClaim is a backup's claim to become leader of epoch Epoch.
+// Backups grant the claim to the highest-id claimant they have seen.
+type EpochClaim struct {
+	Epoch types.Epoch
+	From  types.NodeID
+}
+
+// EpochGrant accepts a claim.
+type EpochGrant struct {
+	Epoch types.Epoch
+	From  types.NodeID
+}
+
+// EpochReject refuses a claim, telling the claimant the higher epoch or
+// higher-id claimant it lost to.
+type EpochReject struct {
+	Epoch    types.Epoch  // the rejecting node's current epoch
+	Claimant types.NodeID // the claimant the rejector prefers
+}
+
+// SeqInit is the new sequencer's initialization request to all replicas of
+// its region: replicas must acknowledge (and sync, §6.3) before the new
+// epoch starts serving.
+type SeqInit struct {
+	Epoch types.Epoch
+	From  types.NodeID
+}
+
+// SeqInitAck acknowledges SeqInit.
+type SeqInitAck struct {
+	Epoch types.Epoch
+	From  types.NodeID
+}
+
+// ---- Replica heartbeating & sync-phase (§6.3) ----
+
+// ReplicaHeartbeat is exchanged between a replica and its leaf sequencer
+// (and peers) for failure detection.
+type ReplicaHeartbeat struct {
+	From types.NodeID
+}
+
+// SyncRequest starts a sync-phase: the recovering replica asks all shard
+// peers to pause and report their state.
+type SyncRequest struct {
+	ID   uint64
+	From types.NodeID
+}
+
+// SyncState is a peer's reply: its known sequencer epoch and, per color,
+// its maximum committed SN.
+type SyncState struct {
+	ID     uint64
+	Epoch  types.Epoch
+	MaxSNs map[types.ColorID]types.SN
+	From   types.NodeID
+}
+
+// SyncFetch asks the most up-to-date replica for records the requester is
+// missing (per color, everything above Have).
+type SyncFetch struct {
+	ID   uint64
+	Have map[types.ColorID]types.SN
+	From types.NodeID
+}
+
+// SyncEntries returns the missing committed records.
+type SyncEntries struct {
+	ID      uint64
+	Records map[types.ColorID][]WireRecord
+}
+
+// SyncCatchup is the coordinator's round-2 broadcast naming the most
+// up-to-date replica; outdated peers fetch missing entries from it (§6.3:
+// "it broadcasts the most up-to-date replica id").
+type SyncCatchup struct {
+	ID       uint64
+	UpToDate types.NodeID
+	Max      map[types.ColorID]types.SN
+	Epoch    types.Epoch
+	From     types.NodeID
+}
+
+// SyncDone is the all-to-all barrier message ending the sync-phase: a
+// replica may resume only after receiving SyncDone from every peer (§6.3).
+type SyncDone struct {
+	ID   uint64
+	From types.NodeID
+}
+
+// RegisterGob registers every message type for the TCP transport. It is
+// safe to call multiple times (gob panics only on conflicting
+// registrations, which cannot happen here).
+func RegisterGob() {
+	gob.Register(AppendReq{})
+	gob.Register(AppendAck{})
+	gob.Register(ReadReq{})
+	gob.Register(ReadResp{})
+	gob.Register(SubscribeReq{})
+	gob.Register(SubscribeResp{})
+	gob.Register(TrimReq{})
+	gob.Register(TrimPeerAck{})
+	gob.Register(TrimAck{})
+	gob.Register(MultiAppendEnd{})
+	gob.Register(MultiAppendAck{})
+	gob.Register(OrderReq{})
+	gob.Register(OrderResp{})
+	gob.Register(AggOrderReq{})
+	gob.Register(AggOrderResp{})
+	gob.Register(SeqHeartbeat{})
+	gob.Register(SeqHeartbeatAck{})
+	gob.Register(EpochClaim{})
+	gob.Register(EpochGrant{})
+	gob.Register(EpochReject{})
+	gob.Register(SeqInit{})
+	gob.Register(SeqInitAck{})
+	gob.Register(ReplicaHeartbeat{})
+	gob.Register(SyncRequest{})
+	gob.Register(SyncState{})
+	gob.Register(SyncCatchup{})
+	gob.Register(SyncFetch{})
+	gob.Register(SyncEntries{})
+	gob.Register(SyncDone{})
+}

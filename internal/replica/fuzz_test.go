@@ -1,0 +1,27 @@
+package replica
+
+import (
+	"testing"
+
+	"flexlog/internal/types"
+)
+
+// FuzzDecodeStaged feeds arbitrary bytes to the multi-append staging
+// decoder: reject or parse, never panic.
+func FuzzDecodeStaged(f *testing.F) {
+	f.Add(EncodeStaged(3, 7, [][]byte{[]byte("x"), {}}))
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		target, fid, records, err := DecodeStaged(raw)
+		if err != nil {
+			return
+		}
+		_ = target
+		_ = fid
+		for _, r := range records {
+			_ = r
+		}
+		_ = types.ColorID(0)
+	})
+}

@@ -1,0 +1,706 @@
+// Package replica implements FlexLog's data-layer node (§5.2, §6): a
+// storage server that persists append batches to the tiered PM stack,
+// requests sequence numbers from the ordering layer, commits and serves
+// records with linearizable local reads, participates in the trim barrier,
+// acts as a broker for multi-color appends (Alg. 2), and recovers through
+// the sync-phase protocol (§6.3).
+//
+// Concurrency model: inbound messages are delivered sequentially by the
+// transport; timers and multi-append replays run on background goroutines.
+// All shared state is guarded by r.mu; storage has its own locking.
+package replica
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"flexlog/internal/proto"
+	"flexlog/internal/storage"
+	"flexlog/internal/topology"
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+// Mode is the replica's operating mode.
+type Mode int
+
+// Replica modes.
+const (
+	ModeOperational Mode = iota
+	ModeSyncing
+	ModeCrashed
+	ModeStopped
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOperational:
+		return "operational"
+	case ModeSyncing:
+		return "syncing"
+	case ModeCrashed:
+		return "crashed"
+	default:
+		return "stopped"
+	}
+}
+
+// Config parameterizes one replica.
+type Config struct {
+	ID    types.NodeID
+	Shard types.ShardID
+	Topo  *topology.Topology
+	Store storage.Config
+
+	// ReadHoldTimeout bounds how long a read for a not-yet-seen SN is held
+	// before returning ⊥ (§6.3 Safety; "a timeout of 1 ms is safe").
+	ReadHoldTimeout time.Duration
+	// HeartbeatInterval is the replica→sequencer liveness beat.
+	HeartbeatInterval time.Duration
+	// RetryTimeout re-issues order requests that got no response (e.g.
+	// across sequencer failover).
+	RetryTimeout time.Duration
+	// StoreFactory overrides how the storage stack is built (e.g. to
+	// re-attach to restored device snapshots); nil uses storage.New(Store).
+	StoreFactory func(storage.Config) (*storage.Store, error)
+}
+
+// DefaultConfig returns test-friendly timing parameters.
+func DefaultConfig() Config {
+	return Config{
+		Store:             storage.TestConfig(),
+		ReadHoldTimeout:   time.Millisecond,
+		HeartbeatInterval: 5 * time.Millisecond,
+		RetryTimeout:      30 * time.Millisecond,
+	}
+}
+
+// pendingOrder tracks an append awaiting its sequence number.
+type pendingOrder struct {
+	color    types.ColorID
+	nRecords uint32
+	clients  map[types.NodeID]bool // who to ack on commit
+	sentAt   time.Time
+}
+
+// heldRead is a read request parked until its SN appears or times out.
+type heldRead struct {
+	req      proto.ReadReq
+	from     types.NodeID
+	deadline time.Time
+}
+
+// trimWait tracks the all-to-all ack barrier of one trim (§6.2).
+type trimWait struct {
+	req   proto.TrimReq
+	from  types.NodeID
+	acks  map[types.NodeID]bool
+	peers []types.NodeID
+}
+
+// Stats counts replica activity.
+type Stats struct {
+	Appends     uint64
+	Commits     uint64
+	Reads       uint64
+	HeldReads   uint64
+	ReadMisses  uint64
+	Subscribes  uint64
+	Trims       uint64
+	OReqRetries uint64
+	Syncs       uint64
+	Replays     uint64 // multi-append record sets replayed
+}
+
+// Replica is one data-layer node.
+type Replica struct {
+	cfg  Config
+	topo *topology.Topology
+	ep   transport.Endpoint
+	st   *storage.Store
+
+	mu       sync.Mutex
+	mode     Mode
+	epoch    types.Epoch  // known sequencer epoch (§6.3)
+	seqNode  types.NodeID // current leaf-sequencer leader
+	pending  map[types.Token]*pendingOrder
+	held     []heldRead
+	trims    map[uint64]*trimWait
+	initSeq  types.NodeID // sequencer awaiting SeqInitAck after sync
+	initEpo  types.Epoch
+	syncRuns map[uint64]*syncRun // concurrent sync-phases, keyed by run id
+	syncSeq  uint64
+	replays  map[types.Token]*replayWait
+	early    map[types.Token]proto.OrderResp // OResps that beat the AppendReq
+	maxSeen  map[types.ColorID]types.SN      // highest SN observed (commit or read)
+	stats    Stats
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New creates a replica, attaches it to the network, and starts its timers.
+func New(cfg Config, net *transport.Network) (*Replica, error) {
+	st, err := buildStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := newReplica(cfg, st)
+	ep, err := net.Register(cfg.ID, r.handle)
+	if err != nil {
+		return nil, err
+	}
+	r.ep = ep
+	r.start()
+	return r, nil
+}
+
+// NewWithEndpoint creates a replica over a custom endpoint (TCP mode).
+func NewWithEndpoint(cfg Config, attach func(h transport.Handler) (transport.Endpoint, error)) (*Replica, error) {
+	st, err := buildStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := newReplica(cfg, st)
+	ep, err := attach(r.handle)
+	if err != nil {
+		return nil, err
+	}
+	r.ep = ep
+	r.start()
+	return r, nil
+}
+
+// buildStore constructs the replica's storage stack.
+func buildStore(cfg Config) (*storage.Store, error) {
+	if cfg.StoreFactory != nil {
+		return cfg.StoreFactory(cfg.Store)
+	}
+	return storage.New(cfg.Store)
+}
+
+func newReplica(cfg Config, st *storage.Store) *Replica {
+	r := &Replica{
+		cfg:      cfg,
+		topo:     cfg.Topo,
+		st:       st,
+		mode:     ModeOperational,
+		epoch:    1,
+		pending:  make(map[types.Token]*pendingOrder),
+		trims:    make(map[uint64]*trimWait),
+		replays:  make(map[types.Token]*replayWait),
+		early:    make(map[types.Token]proto.OrderResp),
+		syncRuns: make(map[uint64]*syncRun),
+		maxSeen:  make(map[types.ColorID]types.SN),
+		stopCh:   make(chan struct{}),
+	}
+	if sh, err := cfg.Topo.Shard(cfg.Shard); err == nil {
+		if si, err := cfg.Topo.Sequencer(sh.Leaf); err == nil {
+			r.seqNode = si.Leader
+		}
+	}
+	return r
+}
+
+func (r *Replica) start() {
+	r.wg.Add(1)
+	go r.timerLoop()
+}
+
+// ID returns this replica's node id.
+func (r *Replica) ID() types.NodeID { return r.cfg.ID }
+
+// Mode returns the replica's current mode.
+func (r *Replica) Mode() Mode {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mode
+}
+
+// Epoch returns the sequencer epoch the replica currently follows.
+func (r *Replica) Epoch() types.Epoch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Store exposes the storage stack (benchmarks and tests).
+func (r *Replica) Store() *storage.Store { return r.st }
+
+// Stats returns a snapshot of the counters.
+func (r *Replica) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Stop shuts the replica down gracefully.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() {
+		r.mu.Lock()
+		r.mode = ModeStopped
+		r.mu.Unlock()
+		close(r.stopCh)
+	})
+	r.wg.Wait()
+}
+
+// shardPeers returns the other replicas of this shard.
+func (r *Replica) shardPeers() []types.NodeID {
+	sh, err := r.topo.Shard(r.cfg.Shard)
+	if err != nil {
+		return nil
+	}
+	var out []types.NodeID
+	for _, id := range sh.Replicas {
+		if id != r.cfg.ID {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// leafColor returns the leaf region this replica's shard attaches to.
+func (r *Replica) leafColor() types.ColorID {
+	sh, err := r.topo.Shard(r.cfg.Shard)
+	if err != nil {
+		return types.MasterColor
+	}
+	return sh.Leaf
+}
+
+// sequencer returns the current leaf-sequencer leader to send OReqs to.
+func (r *Replica) sequencer() types.NodeID {
+	r.mu.Lock()
+	known := r.seqNode
+	r.mu.Unlock()
+	// Prefer the topology's routing (updated on failover); fall back to
+	// the last SeqInit sender.
+	if leader, err := r.topo.Leader(r.leafColor()); err == nil && leader != 0 {
+		return leader
+	}
+	return known
+}
+
+// handle dispatches one inbound message.
+func (r *Replica) handle(from types.NodeID, msg transport.Message) {
+	r.mu.Lock()
+	mode := r.mode
+	r.mu.Unlock()
+	if mode == ModeCrashed || mode == ModeStopped {
+		return
+	}
+	switch m := msg.(type) {
+	case proto.AppendReq:
+		r.onAppend(from, m)
+	case proto.OrderResp:
+		r.onOrderResp(m)
+	case proto.ReadReq:
+		r.onRead(from, m)
+	case proto.SubscribeReq:
+		r.onSubscribe(from, m)
+	case proto.TrimReq:
+		r.onTrim(from, m)
+	case proto.TrimPeerAck:
+		r.onTrimPeerAck(m)
+	case proto.MultiAppendEnd:
+		r.onMultiAppendEnd(from, m)
+	case proto.AppendAck:
+		r.onAppendAck(from, m) // acks for replays this replica initiated
+	case proto.SeqInit:
+		r.onSeqInit(m)
+	case proto.SyncRequest:
+		r.onSyncRequest(from, m)
+	case proto.SyncState:
+		r.onSyncState(m)
+	case proto.SyncCatchup:
+		r.onSyncCatchup(m)
+	case proto.SyncFetch:
+		r.onSyncFetch(from, m)
+	case proto.SyncEntries:
+		r.onSyncEntries(m)
+	case proto.SyncDone:
+		r.onSyncDone(m)
+	case proto.ReplicaHeartbeat:
+		// peer liveness; nothing to do in the happy path
+	}
+}
+
+// ---- Append protocol (Alg. 1, replica role) ----
+
+func (r *Replica) onAppend(from types.NodeID, m proto.AppendReq) {
+	r.mu.Lock()
+	if r.mode != ModeOperational {
+		// §6.3: replicas in sync mode stop processing new appends. The
+		// client (or broker) retries.
+		r.mu.Unlock()
+		return
+	}
+	r.stats.Appends++
+	client := m.Client
+	if client == 0 {
+		client = from
+	}
+	if po, dup := r.pending[m.Token]; dup {
+		// Retried append still awaiting its SN: remember the (possibly
+		// additional) client and re-drive the order request.
+		po.clients[client] = true
+		po.sentAt = time.Time{} // force re-send on next tick
+		r.mu.Unlock()
+		r.sendOrderReq(m.Token, m.Color, uint32(len(m.Records)))
+		return
+	}
+	r.mu.Unlock()
+
+	err := r.st.PutBatch(m.Color, m.Token, m.Records)
+	if err != nil && !errors.Is(err, storage.ErrDuplicateToken) {
+		return // out of space or oversized; client times out and retries elsewhere
+	}
+	if errors.Is(err, storage.ErrDuplicateToken) {
+		// Already persisted. If also committed, ack immediately.
+		if sn, ok := r.st.TokenSN(m.Token); ok && sn.Valid() {
+			r.ep.Send(client, proto.AppendAck{Token: m.Token, SN: sn})
+			return
+		}
+	}
+	r.mu.Lock()
+	if early, ok := r.early[m.Token]; ok {
+		// The OResp raced ahead of the client's broadcast: commit now.
+		delete(r.early, m.Token)
+		r.mu.Unlock()
+		r.onOrderResp(early)
+		// Record the client so the (already-processed) response reaches it.
+		if sn, ok := r.st.TokenSN(m.Token); ok && sn.Valid() {
+			r.ep.Send(client, proto.AppendAck{Token: m.Token, SN: sn})
+		}
+		return
+	}
+	if po, dup := r.pending[m.Token]; dup {
+		po.clients[client] = true
+	} else {
+		r.pending[m.Token] = &pendingOrder{
+			color:    m.Color,
+			nRecords: uint32(len(m.Records)),
+			clients:  map[types.NodeID]bool{client: true},
+			sentAt:   time.Now(),
+		}
+	}
+	r.mu.Unlock()
+	r.sendOrderReq(m.Token, m.Color, uint32(len(m.Records)))
+}
+
+// sendOrderReq issues the round-2 order request to the leaf sequencer.
+func (r *Replica) sendOrderReq(token types.Token, color types.ColorID, n uint32) {
+	sh, err := r.topo.Shard(r.cfg.Shard)
+	if err != nil {
+		return
+	}
+	req := proto.OrderReq{
+		Color:    color,
+		Token:    token,
+		NRecords: n,
+		Shard:    r.cfg.Shard,
+		Replicas: sh.Replicas,
+	}
+	r.ep.Send(r.sequencer(), req)
+}
+
+func (r *Replica) onOrderResp(m proto.OrderResp) {
+	if err := r.st.Commit(m.Token, m.LastSN); err != nil {
+		if errors.Is(err, storage.ErrUnknownToken) {
+			// OResp for a record another shard replica persisted but we
+			// have not seen yet (the client's round-1 broadcast to us is
+			// still in flight): buffer it so onAppend can commit
+			// immediately on arrival.
+			r.mu.Lock()
+			r.early[m.Token] = m
+			if len(r.early) > 1<<16 {
+				// Defensive bound; stale entries are harmless to drop
+				// because the sequencer rebroadcasts on retry.
+				for t := range r.early {
+					delete(r.early, t)
+					break
+				}
+			}
+			r.mu.Unlock()
+			return
+		}
+		// Conflicting SN for an already-committed token: first wins; the
+		// extra range becomes a hole, which is legal (§6.3).
+	}
+	r.mu.Lock()
+	r.stats.Commits++
+	if m.LastSN > r.maxSeen[m.Color] {
+		r.maxSeen[m.Color] = m.LastSN
+	}
+	po := r.pending[m.Token]
+	delete(r.pending, m.Token)
+	var clients []types.NodeID
+	if po != nil {
+		for c := range po.clients {
+			clients = append(clients, c)
+		}
+	}
+	r.mu.Unlock()
+	sn, _ := r.st.TokenSN(m.Token)
+	for _, c := range clients {
+		r.ep.Send(c, proto.AppendAck{Token: m.Token, SN: sn})
+	}
+	r.releaseHeldReads()
+}
+
+// ---- Read protocol (§6.1) with read-hold (§6.3 Safety) ----
+
+func (r *Replica) onRead(from types.NodeID, m proto.ReadReq) {
+	r.mu.Lock()
+	r.stats.Reads++
+	r.mu.Unlock()
+	data, err := r.st.Get(m.Color, m.SN)
+	if err == nil {
+		r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Data: data, Found: true})
+		return
+	}
+	if errors.Is(err, storage.ErrTrimmed) {
+		r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Found: false})
+		return
+	}
+	// Not found. If the SN is above everything this replica has seen, the
+	// append may still be in flight: hold the request (§6.3, problem 2).
+	r.mu.Lock()
+	maxSeen := r.maxSeen[m.Color]
+	if st := r.st.MaxSN(m.Color); st > maxSeen {
+		maxSeen = st
+	}
+	if m.SN > maxSeen && r.cfg.ReadHoldTimeout > 0 {
+		r.stats.HeldReads++
+		r.held = append(r.held, heldRead{req: m, from: from, deadline: time.Now().Add(r.cfg.ReadHoldTimeout)})
+		r.mu.Unlock()
+		return
+	}
+	r.stats.ReadMisses++
+	r.mu.Unlock()
+	// A hole (an SN below the committed frontier with no record): ⊥.
+	r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Found: false})
+}
+
+// releaseHeldReads re-checks parked reads after new commits.
+func (r *Replica) releaseHeldReads() {
+	r.mu.Lock()
+	if len(r.held) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	held := r.held
+	r.held = nil
+	r.mu.Unlock()
+
+	var still []heldRead
+	for _, h := range held {
+		data, err := r.st.Get(h.req.Color, h.req.SN)
+		switch {
+		case err == nil:
+			r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Data: data, Found: true})
+		case errors.Is(err, storage.ErrTrimmed):
+			r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Found: false})
+		default:
+			if r.st.MaxSN(h.req.Color) >= h.req.SN {
+				// A higher SN has appeared: the requested SN is a hole. ⊥.
+				r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Found: false})
+			} else {
+				still = append(still, h)
+			}
+		}
+	}
+	if len(still) > 0 {
+		r.mu.Lock()
+		r.held = append(r.held, still...)
+		r.mu.Unlock()
+	}
+}
+
+// expireHeldReads times out parked reads (the request "times out; that does
+// not violate linearizability", §6.3).
+func (r *Replica) expireHeldReads(now time.Time) {
+	r.mu.Lock()
+	var keep, expired []heldRead
+	for _, h := range r.held {
+		if now.After(h.deadline) {
+			expired = append(expired, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	r.held = keep
+	if len(expired) > 0 {
+		r.stats.ReadMisses += uint64(len(expired))
+	}
+	r.mu.Unlock()
+	for _, h := range expired {
+		r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Found: false})
+	}
+}
+
+// ---- Subscribe (§6.2) ----
+
+func (r *Replica) onSubscribe(from types.NodeID, m proto.SubscribeReq) {
+	r.mu.Lock()
+	r.stats.Subscribes++
+	r.mu.Unlock()
+	recs, err := r.st.ScanFrom(m.Color, m.From)
+	if err != nil {
+		return
+	}
+	out := make([]proto.WireRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = proto.WireRecord{Token: rec.Token, SN: rec.SN, Data: rec.Data}
+	}
+	r.ep.Send(from, proto.SubscribeResp{ID: m.ID, Color: m.Color, Records: out})
+}
+
+// ---- Trim (§6.2) with the all-to-all ack barrier ----
+
+func (r *Replica) onTrim(from types.NodeID, m proto.TrimReq) {
+	if _, _, err := r.st.Trim(m.Color, m.SN); err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.stats.Trims++
+	client := m.Client
+	if client == 0 {
+		client = from
+	}
+	peers := r.trimPeers(m.Color)
+	tw := r.trims[m.ID]
+	if tw == nil {
+		tw = &trimWait{req: m, from: client, acks: make(map[types.NodeID]bool), peers: peers}
+		r.trims[m.ID] = tw
+	} else {
+		tw.from = client
+	}
+	tw.acks[r.cfg.ID] = true
+	done := r.trimDoneLocked(tw)
+	r.mu.Unlock()
+	// Round 2: ack to all replicas participating in the trim.
+	ack := proto.TrimPeerAck{ID: m.ID, Color: m.Color, SN: m.SN, From: r.cfg.ID}
+	r.ep.Broadcast(peers, ack)
+	if done {
+		r.finishTrim(m.ID)
+	}
+}
+
+// trimPeers lists every other replica of every shard of the color's region.
+func (r *Replica) trimPeers(color types.ColorID) []types.NodeID {
+	all := r.topo.ReplicasInRegion(color)
+	var out []types.NodeID
+	for _, id := range all {
+		if id != r.cfg.ID {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (r *Replica) onTrimPeerAck(m proto.TrimPeerAck) {
+	r.mu.Lock()
+	tw := r.trims[m.ID]
+	if tw == nil {
+		// Peer ack arrived before the client's TrimReq reached us: record
+		// it; the TrimReq handler will find the entry.
+		tw = &trimWait{acks: make(map[types.NodeID]bool)}
+		r.trims[m.ID] = tw
+	}
+	tw.acks[m.From] = true
+	done := r.trimDoneLocked(tw)
+	r.mu.Unlock()
+	if done {
+		r.finishTrim(m.ID)
+	}
+}
+
+// trimDoneLocked reports whether every participant acked. Caller holds mu.
+func (r *Replica) trimDoneLocked(tw *trimWait) bool {
+	if tw.from == 0 {
+		return false // haven't seen the TrimReq itself yet
+	}
+	for _, p := range tw.peers {
+		if !tw.acks[p] {
+			return false
+		}
+	}
+	return tw.acks[r.cfg.ID]
+}
+
+// finishTrim sends the [head, tail] answer to the caller (round 3).
+func (r *Replica) finishTrim(id uint64) {
+	r.mu.Lock()
+	tw := r.trims[id]
+	if tw == nil {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.trims, id)
+	r.mu.Unlock()
+	head, tail := r.st.Bounds(tw.req.Color)
+	r.ep.Send(tw.from, proto.TrimAck{ID: id, Color: tw.req.Color, Head: head, Tail: tail})
+}
+
+// ---- Timers ----
+
+func (r *Replica) timerLoop() {
+	defer r.wg.Done()
+	interval := r.cfg.HeartbeatInterval
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	hold := r.cfg.ReadHoldTimeout
+	if hold > 0 && hold < interval {
+		interval = hold
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case now := <-t.C:
+			r.mu.Lock()
+			mode := r.mode
+			r.mu.Unlock()
+			if mode != ModeOperational && mode != ModeSyncing {
+				continue
+			}
+			r.expireHeldReads(now)
+			if mode == ModeOperational {
+				r.retryPendingOrders(now)
+				r.ep.Send(r.sequencer(), proto.ReplicaHeartbeat{From: r.cfg.ID})
+			}
+		}
+	}
+}
+
+// retryPendingOrders re-issues order requests that have gone unanswered
+// (e.g. the sequencer failed over and its backups are stateless).
+func (r *Replica) retryPendingOrders(now time.Time) {
+	if r.cfg.RetryTimeout <= 0 {
+		return
+	}
+	type resend struct {
+		token types.Token
+		color types.ColorID
+		n     uint32
+	}
+	var out []resend
+	r.mu.Lock()
+	for tok, po := range r.pending {
+		if po.sentAt.IsZero() || now.Sub(po.sentAt) >= r.cfg.RetryTimeout {
+			po.sentAt = now
+			r.stats.OReqRetries++
+			out = append(out, resend{token: tok, color: po.color, n: po.nRecords})
+		}
+	}
+	r.mu.Unlock()
+	for _, o := range out {
+		r.sendOrderReq(o.token, o.color, o.n)
+	}
+}

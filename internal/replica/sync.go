@@ -1,0 +1,423 @@
+package replica
+
+import (
+	"sort"
+	"time"
+
+	"flexlog/internal/proto"
+	"flexlog/internal/storage"
+	"flexlog/internal/types"
+)
+
+// This file implements the §6.3 recovery protocols:
+//
+//   - replica crash/recovery with the sync-phase: the recovering replica
+//     pauses the shard, peers exchange (epoch, max committed SN), outdated
+//     replicas fetch missing entries from the most up-to-date one, and an
+//     all-to-all SyncDone barrier gates the return to operational mode;
+//   - sequencer failover handling: on SeqInit from a new leader the shard
+//     passes through a sync-phase and only then acknowledges, guaranteeing
+//     that interrupted broadcasts of the previous epoch are received by all
+//     replicas before the new epoch starts;
+//   - re-issuing of order requests for records that have no SN after the
+//     sync-phase.
+
+// syncRun tracks one sync-phase this replica participates in.
+type syncRun struct {
+	id           uint64
+	coordinator  types.NodeID
+	states       map[types.NodeID]proto.SyncState // coordinator only
+	dones        map[types.NodeID]bool
+	fetching     bool
+	caughtUp     bool
+	participants []types.NodeID // shard replicas (incl. self)
+}
+
+// Crash simulates a crash failure of the replica process: the devices stop
+// and all messages are ignored until Recover.
+func (r *Replica) Crash() {
+	r.mu.Lock()
+	r.mode = ModeCrashed
+	r.pending = make(map[types.Token]*pendingOrder)
+	r.held = nil
+	r.trims = make(map[uint64]*trimWait)
+	r.syncRuns = make(map[uint64]*syncRun)
+	r.mu.Unlock()
+	r.st.Crash()
+}
+
+// Recover restarts the replica after a crash: storage is re-opened and
+// scanned, then the sync-phase runs so the shard converges before this
+// replica serves again (§6.3 "When a replica recovers, a synchronization
+// phase takes place…").
+func (r *Replica) Recover() error {
+	if err := r.st.Recover(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.mode = ModeSyncing
+	r.maxSeen = make(map[types.ColorID]types.SN)
+	r.mu.Unlock()
+	r.startSyncPhase()
+	return nil
+}
+
+// startSyncPhase begins a sync-phase with this replica as coordinator.
+func (r *Replica) startSyncPhase() {
+	peers := r.shardPeers()
+	r.mu.Lock()
+	r.syncSeq++
+	id := uint64(r.cfg.ID)<<32 | r.syncSeq
+	run := &syncRun{
+		id:           id,
+		coordinator:  r.cfg.ID,
+		states:       make(map[types.NodeID]proto.SyncState),
+		dones:        make(map[types.NodeID]bool),
+		participants: append([]types.NodeID{r.cfg.ID}, peers...),
+	}
+	r.syncRuns[id] = run
+	r.mode = ModeSyncing
+	r.stats.Syncs++
+	// Record our own state.
+	run.states[r.cfg.ID] = proto.SyncState{ID: id, Epoch: r.epoch, MaxSNs: r.maxSNsLocked(), From: r.cfg.ID}
+	r.mu.Unlock()
+
+	if len(peers) == 0 {
+		// Singleton shard: nothing to converge with.
+		r.mu.Lock()
+		delete(r.syncRuns, id)
+		if len(r.syncRuns) == 0 {
+			r.finishSyncLocked()
+		}
+		r.mu.Unlock()
+		return
+	}
+	r.ep.Broadcast(peers, proto.SyncRequest{ID: id, From: r.cfg.ID})
+}
+
+// maxSNsLocked snapshots this replica's per-color committed frontier.
+// Caller holds r.mu (storage does its own locking).
+func (r *Replica) maxSNsLocked() map[types.ColorID]types.SN {
+	out := make(map[types.ColorID]types.SN)
+	for _, c := range r.topo.Colors() {
+		if sn := r.st.MaxSN(c); sn.Valid() {
+			out[c] = sn
+		}
+	}
+	return out
+}
+
+func (r *Replica) onSyncRequest(from types.NodeID, m proto.SyncRequest) {
+	r.mu.Lock()
+	// Enter sync mode: stop processing appends and sequencer messages
+	// (§6.3). Reads keep being served — committed entries stay readable.
+	// Concurrent recoveries each coordinate their own run; a replica
+	// participates in all of them and resumes when the last completes.
+	r.mode = ModeSyncing
+	if r.syncRuns[m.ID] == nil {
+		r.syncRuns[m.ID] = &syncRun{
+			id:           m.ID,
+			coordinator:  m.From,
+			dones:        make(map[types.NodeID]bool),
+			participants: append([]types.NodeID{r.cfg.ID}, r.shardPeersLocked()...),
+		}
+	}
+	state := proto.SyncState{ID: m.ID, Epoch: r.epoch, MaxSNs: r.maxSNsLocked(), From: r.cfg.ID}
+	r.mu.Unlock()
+	r.ep.Send(m.From, state)
+}
+
+// shardPeersLocked is shardPeers without retaking topology locks under mu
+// (topology has its own synchronization; this is just a naming helper).
+func (r *Replica) shardPeersLocked() []types.NodeID { return r.shardPeers() }
+
+func (r *Replica) onSyncState(m proto.SyncState) {
+	r.mu.Lock()
+	run := r.syncRuns[m.ID]
+	if run == nil || run.coordinator != r.cfg.ID {
+		r.mu.Unlock()
+		return
+	}
+	run.states[m.From] = m
+	if len(run.states) < len(run.participants) {
+		r.mu.Unlock()
+		return
+	}
+	// All states collected. If epochs disagree, adopt the highest (the
+	// paper retries until the old sequencer is gone; with our reliable
+	// in-proc links adopting the maximum converges immediately).
+	maxEpoch := r.epoch
+	for _, st := range run.states {
+		if st.Epoch > maxEpoch {
+			maxEpoch = st.Epoch
+		}
+	}
+	r.epoch = maxEpoch
+	// Determine the most up-to-date replica: the one with the highest
+	// total committed frontier (ties broken by node id for determinism).
+	best := r.cfg.ID
+	bestScore := scoreFrontier(run.states[r.cfg.ID].MaxSNs)
+	ids := make([]types.NodeID, 0, len(run.states))
+	for id := range run.states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	maxFrontier := make(map[types.ColorID]types.SN)
+	for _, id := range ids {
+		st := run.states[id]
+		for c, sn := range st.MaxSNs {
+			if sn > maxFrontier[c] {
+				maxFrontier[c] = sn
+			}
+		}
+		if sc := scoreFrontier(st.MaxSNs); sc > bestScore || (sc == bestScore && id > best) {
+			best, bestScore = id, sc
+		}
+	}
+	epoch := r.epoch
+	id := run.id
+	participants := append([]types.NodeID(nil), run.participants...)
+	r.mu.Unlock()
+
+	// Round 2: broadcast the most up-to-date replica id (§6.3).
+	msg := proto.SyncCatchup{ID: id, UpToDate: best, Max: maxFrontier, Epoch: epoch, From: r.cfg.ID}
+	for _, p := range participants {
+		if p == r.cfg.ID {
+			r.onSyncCatchup(msg)
+		} else {
+			r.ep.Send(p, msg)
+		}
+	}
+}
+
+// scoreFrontier sums a frontier's counters as an up-to-dateness measure.
+func scoreFrontier(m map[types.ColorID]types.SN) uint64 {
+	var total uint64
+	for _, sn := range m {
+		total += uint64(sn)
+	}
+	return total
+}
+
+func (r *Replica) onSyncCatchup(m proto.SyncCatchup) {
+	r.mu.Lock()
+	run := r.syncRuns[m.ID]
+	if run == nil {
+		r.mu.Unlock()
+		return
+	}
+	if m.Epoch > r.epoch {
+		r.epoch = m.Epoch
+	}
+	// Work out whether we are missing anything the up-to-date replica has.
+	need := make(map[types.ColorID]types.SN)
+	have := make(map[types.ColorID]types.SN)
+	for c, maxSN := range m.Max {
+		mine := r.st.MaxSN(c)
+		have[c] = mine
+		if mine < maxSN {
+			need[c] = mine
+		}
+	}
+	if len(need) == 0 || m.UpToDate == r.cfg.ID {
+		run.caughtUp = true
+		r.mu.Unlock()
+		r.broadcastSyncDone(m.ID)
+		return
+	}
+	run.fetching = true
+	r.mu.Unlock()
+	r.ep.Send(m.UpToDate, proto.SyncFetch{ID: m.ID, Have: have, From: r.cfg.ID})
+}
+
+func (r *Replica) onSyncFetch(from types.NodeID, m proto.SyncFetch) {
+	// Serve missing committed records above the requester's frontier
+	// ("the outdated replicas fetch the missing entries from the most
+	// up-to-date one", §6.3).
+	out := make(map[types.ColorID][]proto.WireRecord)
+	for _, c := range r.topo.Colors() {
+		after := m.Have[c]
+		recs, err := r.st.ScanFrom(c, after)
+		if err != nil || len(recs) == 0 {
+			continue
+		}
+		wire := make([]proto.WireRecord, len(recs))
+		for i, rec := range recs {
+			wire[i] = proto.WireRecord{Token: rec.Token, SN: rec.SN, Data: rec.Data}
+		}
+		out[c] = wire
+	}
+	r.ep.Send(from, proto.SyncEntries{ID: m.ID, Records: out})
+}
+
+func (r *Replica) onSyncEntries(m proto.SyncEntries) {
+	r.mu.Lock()
+	run := r.syncRuns[m.ID]
+	if run == nil || !run.fetching {
+		r.mu.Unlock()
+		return
+	}
+	run.fetching = false
+	run.caughtUp = true
+	r.mu.Unlock()
+	// Ingest: persist + commit each record at its authoritative SN.
+	// Tokens already present are just committed (idempotent).
+	for color, recs := range m.Records {
+		for _, rec := range recs {
+			if !r.st.Has(rec.Token) {
+				if err := r.st.Put(color, rec.Token, rec.Data); err != nil {
+					continue
+				}
+			}
+			if err := r.st.Commit(rec.Token, rec.SN); err != nil && err != storage.ErrUnknownToken {
+				continue
+			}
+			r.mu.Lock()
+			if rec.SN > r.maxSeen[color] {
+				r.maxSeen[color] = rec.SN
+			}
+			r.mu.Unlock()
+		}
+	}
+	r.broadcastSyncDone(m.ID)
+}
+
+// broadcastSyncDone performs this replica's half of the all-to-all barrier.
+func (r *Replica) broadcastSyncDone(id uint64) {
+	r.mu.Lock()
+	run := r.syncRuns[id]
+	if run == nil {
+		r.mu.Unlock()
+		return
+	}
+	run.dones[r.cfg.ID] = true
+	participants := append([]types.NodeID(nil), run.participants...)
+	done := r.syncBarrierDoneLocked(run)
+	r.mu.Unlock()
+	for _, p := range participants {
+		if p != r.cfg.ID {
+			r.ep.Send(p, proto.SyncDone{ID: id, From: r.cfg.ID})
+		}
+	}
+	if done {
+		r.completeSync(id)
+	}
+}
+
+func (r *Replica) onSyncDone(m proto.SyncDone) {
+	r.mu.Lock()
+	run := r.syncRuns[m.ID]
+	if run == nil {
+		r.mu.Unlock()
+		return
+	}
+	run.dones[m.From] = true
+	done := r.syncBarrierDoneLocked(run)
+	r.mu.Unlock()
+	if done {
+		r.completeSync(m.ID)
+	}
+}
+
+// syncBarrierDoneLocked reports whether every participant (including self)
+// has broadcast SyncDone. Caller holds r.mu.
+func (r *Replica) syncBarrierDoneLocked(run *syncRun) bool {
+	for _, p := range run.participants {
+		if !run.dones[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// completeSync returns to operational mode and re-issues order requests for
+// records without SNs ("replicas might still need to re-issue OReq requests
+// for records that have not been assigned an SN after the sync-phase").
+func (r *Replica) completeSync(id uint64) {
+	r.mu.Lock()
+	if r.syncRuns[id] == nil {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.syncRuns, id)
+	if len(r.syncRuns) == 0 {
+		r.finishSyncLocked()
+	}
+	r.mu.Unlock()
+}
+
+// finishSyncLocked transitions to operational, acks a pending SeqInit, and
+// re-drives uncommitted batches. Caller holds r.mu.
+func (r *Replica) finishSyncLocked() {
+	r.mode = ModeOperational
+	initSeq, initEpo := r.initSeq, r.initEpo
+	r.initSeq, r.initEpo = 0, 0
+	if initSeq != 0 {
+		r.seqNode = initSeq
+		if initEpo > r.epoch {
+			r.epoch = initEpo
+		}
+	}
+	id := r.cfg.ID
+	ep := r.ep
+	uncommitted := r.st.Uncommitted()
+	for _, b := range uncommitted {
+		if po := r.pending[b.Token]; po == nil {
+			r.pending[b.Token] = &pendingOrder{
+				color:    b.Color,
+				nRecords: uint32(len(b.Records)),
+				clients:  map[types.NodeID]bool{},
+				sentAt:   time.Now(),
+			}
+		}
+	}
+	go func() {
+		if initSeq != 0 {
+			ep.Send(initSeq, proto.SeqInitAck{Epoch: initEpo, From: id})
+		}
+		for _, b := range uncommitted {
+			r.sendOrderReq(b.Token, b.Color, uint32(len(b.Records)))
+		}
+	}()
+}
+
+// onSeqInit handles a new sequencer's initialization request (§6.3
+// "Sequencer failures"): record the new leader, run a sync-phase with the
+// shard, and ack only once the shard is synchronized to the previous epoch.
+func (r *Replica) onSeqInit(m proto.SeqInit) {
+	r.mu.Lock()
+	if m.Epoch < r.epoch {
+		r.mu.Unlock()
+		return // stale leader
+	}
+	r.initSeq = m.From
+	r.initEpo = m.Epoch
+	alreadySyncing := len(r.syncRuns) > 0
+	coordinator := r.syncCoordinator()
+	r.mu.Unlock()
+	if alreadySyncing {
+		return // the running sync-phase will ack on completion
+	}
+	if coordinator == r.cfg.ID {
+		r.startSyncPhase()
+	}
+	// Non-coordinators wait for the coordinator's SyncRequest; if the
+	// coordinator's SeqInit was lost, the retry path (sequencer re-sending
+	// SeqInit) re-triggers this handler.
+}
+
+// syncCoordinator picks the deterministic sync-phase initiator for
+// sequencer-failover syncs: the smallest replica id of the shard.
+func (r *Replica) syncCoordinator() types.NodeID {
+	sh, err := r.topo.Shard(r.cfg.Shard)
+	if err != nil || len(sh.Replicas) == 0 {
+		return r.cfg.ID
+	}
+	min := sh.Replicas[0]
+	for _, id := range sh.Replicas[1:] {
+		if id < min {
+			min = id
+		}
+	}
+	return min
+}

@@ -1,0 +1,568 @@
+// Package seq implements FlexLog's ordering layer (§5.2): an n-ary tree of
+// sequencer nodes that assign 64-bit sequence numbers of the form
+// (epoch<<32)|counter to order requests.
+//
+// Each sequencer owns one region (color). An order request for color c
+// enters the tree at the leaf sequencer of the issuing shard and climbs
+// toward the root sequencer of region c, which assigns the SN range; the
+// response descends the same path. Sequencers below the owner act as
+// aggregators: order requests for the same color that arrive within the
+// batching interval are merged into a single upward request for the sum of
+// their record counts (§5.2 "To improve throughput…").
+//
+// Fault tolerance follows §5.2 "Sequencer replication": each sequencer has
+// 2f stateless backups replicating only the epoch number. Failure is
+// detected by heartbeat silence; the new leader is the backup with the
+// highest (epoch, node-id), elected via at-most-once epoch grants; it first
+// secures its epoch on a majority of the group, then initializes every
+// replica of its region (SeqInit) and only then serves. An old leader that
+// cannot reach a majority of backups shuts itself down (split-brain
+// avoidance).
+package seq
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"flexlog/internal/proto"
+	"flexlog/internal/topology"
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+// Role is a sequencer node's current role.
+type Role int
+
+// Sequencer roles.
+const (
+	RoleBackup Role = iota
+	RoleLeader
+	RoleStopped
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleBackup:
+		return "backup"
+	case RoleLeader:
+		return "leader"
+	default:
+		return "stopped"
+	}
+}
+
+// Config parameterizes one sequencer node.
+type Config struct {
+	ID     types.NodeID
+	Region types.ColorID
+	Topo   *topology.Topology
+
+	// BatchInterval is the aggregation window for upward order requests
+	// (1 µs in the paper's evaluation). Zero still batches whatever is
+	// pending when the flusher runs, i.e. it effectively disables the
+	// deliberate wait.
+	BatchInterval time.Duration
+	// HeartbeatInterval is the leader→backup heartbeat period.
+	HeartbeatInterval time.Duration
+	// FailureTimeout is the silence span after which a failure is assumed
+	// (the Δ bound of §4).
+	FailureTimeout time.Duration
+	// RetryTimeout is how long an aggregated upward request may stay
+	// unanswered before it is re-sent (parent failover re-drive).
+	RetryTimeout time.Duration
+	// TokenCacheSize bounds the token-deduplication map (Alg. 1 line 31).
+	TokenCacheSize int
+	// StartAsLeader makes this node the initial leader of its group.
+	StartAsLeader bool
+	// InitialEpoch overrides the starting epoch (default 1). Deployments
+	// that restart a whole sequencer group cold must resume above every
+	// epoch ever used, or the new leader would re-issue old SNs —
+	// cmd/flexlog-server persists the epoch and passes lastEpoch+1 here.
+	InitialEpoch types.Epoch
+}
+
+// DefaultConfig fills the timing knobs with test-friendly values.
+func DefaultConfig() Config {
+	return Config{
+		BatchInterval:     time.Microsecond,
+		HeartbeatInterval: 5 * time.Millisecond,
+		FailureTimeout:    25 * time.Millisecond,
+		RetryTimeout:      50 * time.Millisecond,
+		TokenCacheSize:    1 << 20,
+	}
+}
+
+// member is one constituent of a pending/in-flight aggregated batch.
+type member struct {
+	// Exactly one of req / child is set.
+	req   *proto.OrderReq // direct request from a replica (entry point)
+	child *childBatch     // merged batch from a child sequencer
+	n     uint32
+}
+
+type childBatch struct {
+	batchID uint64
+	from    types.NodeID
+}
+
+// inflight tracks an aggregated request sent to the parent.
+type inflight struct {
+	color   types.ColorID
+	total   uint32
+	members []member
+	sentAt  time.Time
+}
+
+// tokenState tracks dedup state for tokens this node has seen as the entry
+// sequencer (Alg. 1 lines 28–31).
+type tokenState struct {
+	assigned bool
+	lastSN   types.SN
+	req      *proto.OrderReq
+}
+
+// Stats counts ordering-layer activity.
+type Stats struct {
+	Assigned     uint64 // SNs issued by this node as region owner
+	DirectReqs   uint64 // order requests received from replicas
+	ChildReqs    uint64 // aggregated requests received from children
+	BatchesSent  uint64 // aggregated requests sent to the parent
+	Resends      uint64
+	Elections    uint64 // leaderships won by this node
+	EpochGrants  uint64
+	DupTokens    uint64
+	DroppedStale uint64
+}
+
+// Sequencer is one ordering-layer node.
+type Sequencer struct {
+	cfg  Config
+	topo *topology.Topology
+	ep   transport.Endpoint
+
+	mu      sync.Mutex
+	role    Role
+	epoch   types.Epoch
+	counter uint32
+	serving bool // leader finished initialization and serves requests
+
+	// entry-side token dedup (bounded FIFO eviction)
+	tokens     map[types.Token]*tokenState
+	tokenOrder []types.Token
+
+	// aggregation
+	pending  map[types.ColorID]*[]member
+	batchSeq uint64
+	inflight map[uint64]*inflight
+
+	// owner-side dedup of child batches (survives duplicate resends)
+	aggSeen map[childKey]types.SN
+
+	// election / heartbeat state
+	grantedEpoch types.Epoch
+	grantedTo    types.NodeID
+	lastLeaderHB time.Time
+	hbAcks       map[types.NodeID]time.Time
+	initAcks     map[types.NodeID]bool
+	initEpoch    types.Epoch
+	claimStart   time.Time
+
+	stats Stats
+
+	stopCh  chan struct{}
+	stopped sync.WaitGroup
+	kick    chan struct{} // wakes the flusher
+}
+
+type childKey struct {
+	from    types.NodeID
+	batchID uint64
+}
+
+// New creates the sequencer and registers it on the in-process network.
+func New(cfg Config, net *transport.Network) (*Sequencer, error) {
+	s := newSequencer(cfg)
+	ep, err := net.Register(cfg.ID, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.ep = ep
+	s.start()
+	return s, nil
+}
+
+// NewWithEndpoint creates the sequencer over an existing endpoint
+// constructor (used for TCP deployments). attach must register s.Handle as
+// the message handler and return the endpoint.
+func NewWithEndpoint(cfg Config, attach func(h transport.Handler) (transport.Endpoint, error)) (*Sequencer, error) {
+	s := newSequencer(cfg)
+	ep, err := attach(s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.ep = ep
+	s.start()
+	return s, nil
+}
+
+func newSequencer(cfg Config) *Sequencer {
+	if cfg.TokenCacheSize <= 0 {
+		cfg.TokenCacheSize = 1 << 20
+	}
+	s := &Sequencer{
+		cfg:      cfg,
+		topo:     cfg.Topo,
+		tokens:   make(map[types.Token]*tokenState),
+		pending:  make(map[types.ColorID]*[]member),
+		inflight: make(map[uint64]*inflight),
+		aggSeen:  make(map[childKey]types.SN),
+		hbAcks:   make(map[types.NodeID]time.Time),
+		stopCh:   make(chan struct{}),
+		kick:     make(chan struct{}, 1),
+	}
+	epoch := types.Epoch(1)
+	if cfg.InitialEpoch > 0 {
+		epoch = cfg.InitialEpoch
+	}
+	if cfg.StartAsLeader {
+		s.role = RoleLeader
+		s.epoch = epoch
+		s.serving = true
+	} else {
+		s.role = RoleBackup
+		s.epoch = epoch
+		s.lastLeaderHB = time.Now()
+	}
+	return s
+}
+
+func (s *Sequencer) start() {
+	s.stopped.Add(2)
+	go s.flusherLoop()
+	go s.timerLoop()
+}
+
+// ID returns this node's id.
+func (s *Sequencer) ID() types.NodeID { return s.cfg.ID }
+
+// Region returns the color this sequencer group owns.
+func (s *Sequencer) Region() types.ColorID { return s.cfg.Region }
+
+// Role returns the node's current role.
+func (s *Sequencer) Role() Role {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.role
+}
+
+// Epoch returns the node's current epoch.
+func (s *Sequencer) Epoch() types.Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Serving reports whether the node is an initialized, active leader.
+func (s *Sequencer) Serving() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.role == RoleLeader && s.serving
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Sequencer) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Stop terminates the node's background loops (graceful shutdown).
+func (s *Sequencer) Stop() {
+	s.mu.Lock()
+	if s.role == RoleStopped {
+		s.mu.Unlock()
+		return
+	}
+	s.role = RoleStopped
+	s.serving = false
+	close(s.stopCh)
+	s.mu.Unlock()
+	s.stopped.Wait()
+}
+
+// Crash simulates a crash failure: the node stops processing and emitting
+// all messages. Unlike Stop it is meant to be paired with network
+// isolation in tests.
+func (s *Sequencer) Crash() { s.Stop() }
+
+// handle dispatches one inbound message.
+func (s *Sequencer) handle(from types.NodeID, msg transport.Message) {
+	switch m := msg.(type) {
+	case proto.OrderReq:
+		s.onOrderReq(m)
+	case proto.AggOrderReq:
+		s.onAggOrderReq(m)
+	case proto.AggOrderResp:
+		s.onAggOrderResp(m)
+	case proto.SeqHeartbeat:
+		s.onHeartbeat(m)
+	case proto.SeqHeartbeatAck:
+		s.onHeartbeatAck(m)
+	case proto.EpochClaim:
+		s.onEpochClaim(m)
+	case proto.EpochGrant:
+		s.onEpochGrant(m)
+	case proto.EpochReject:
+		s.onEpochReject(m)
+	case proto.SeqInitAck:
+		s.onSeqInitAck(m)
+	case proto.ReplicaHeartbeat:
+		// Replica liveness; sequencers do not act on it beyond receipt.
+	}
+}
+
+// ---- Order request path ----
+
+func (s *Sequencer) onOrderReq(req proto.OrderReq) {
+	s.mu.Lock()
+	if s.role != RoleLeader || !s.serving {
+		s.stats.DroppedStale++
+		s.mu.Unlock()
+		return
+	}
+	s.stats.DirectReqs++
+	if st, ok := s.tokens[req.Token]; ok {
+		s.stats.DupTokens++
+		if st.assigned {
+			// Re-broadcast the cached response (a replica retried because
+			// it missed the original OResp).
+			resp := proto.OrderResp{Token: req.Token, LastSN: st.lastSN, NRecords: req.NRecords, Color: req.Color}
+			replicas := req.Replicas
+			s.mu.Unlock()
+			s.ep.Broadcast(replicas, resp)
+			return
+		}
+		// Still pending in a batch or in flight; the response will reach
+		// the shard when the owner answers.
+		s.mu.Unlock()
+		return
+	}
+	if req.Color == s.cfg.Region {
+		// This node owns the region: assign immediately (Alg. 1 lines
+		// 32–35).
+		last := s.assignLocked(req.NRecords)
+		s.rememberTokenLocked(req.Token, &tokenState{assigned: true, lastSN: last})
+		resp := proto.OrderResp{Token: req.Token, LastSN: last, NRecords: req.NRecords, Color: req.Color}
+		replicas := req.Replicas
+		s.mu.Unlock()
+		s.ep.Broadcast(replicas, resp)
+		return
+	}
+	// Not the owner: aggregate upward (Alg. 1 line 37, merged per §5.2).
+	r := req
+	s.rememberTokenLocked(req.Token, &tokenState{req: &r})
+	s.enqueueLocked(req.Color, member{req: &r, n: req.NRecords})
+	s.mu.Unlock()
+	s.kickFlusher()
+}
+
+func (s *Sequencer) onAggOrderReq(m proto.AggOrderReq) {
+	s.mu.Lock()
+	if s.role != RoleLeader || !s.serving {
+		s.stats.DroppedStale++
+		s.mu.Unlock()
+		return
+	}
+	s.stats.ChildReqs++
+	key := childKey{from: m.From, batchID: m.BatchID}
+	if last, ok := s.aggSeen[key]; ok {
+		// Duplicate resend of a batch we already answered.
+		s.mu.Unlock()
+		s.ep.Send(m.From, proto.AggOrderResp{BatchID: m.BatchID, LastSN: last, Color: m.Color})
+		return
+	}
+	if m.Color == s.cfg.Region {
+		last := s.assignLocked(m.Total)
+		s.aggSeen[key] = last
+		s.mu.Unlock()
+		s.ep.Send(m.From, proto.AggOrderResp{BatchID: m.BatchID, LastSN: last, Color: m.Color})
+		return
+	}
+	s.enqueueLocked(m.Color, member{child: &childBatch{batchID: m.BatchID, from: m.From}, n: m.Total})
+	s.mu.Unlock()
+	s.kickFlusher()
+}
+
+func (s *Sequencer) onAggOrderResp(m proto.AggOrderResp) {
+	s.mu.Lock()
+	inf, ok := s.inflight[m.BatchID]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.inflight, m.BatchID)
+	// Split the assigned range [last-total+1, last] across the members in
+	// order (§5.2: "assigns all SNs in the range … which are distributed
+	// to their respective origin").
+	running := m.LastSN - types.SN(inf.total)
+	type directOut struct {
+		resp     proto.OrderResp
+		replicas []types.NodeID
+	}
+	type childOut struct {
+		resp proto.AggOrderResp
+		to   types.NodeID
+	}
+	var directs []directOut
+	var children []childOut
+	for _, mem := range inf.members {
+		running += types.SN(mem.n)
+		if mem.req != nil {
+			if st, ok := s.tokens[mem.req.Token]; ok {
+				st.assigned = true
+				st.lastSN = running
+				st.req = nil
+			}
+			directs = append(directs, directOut{
+				resp:     proto.OrderResp{Token: mem.req.Token, LastSN: running, NRecords: mem.n, Color: inf.color},
+				replicas: mem.req.Replicas,
+			})
+		} else {
+			children = append(children, childOut{
+				resp: proto.AggOrderResp{BatchID: mem.child.batchID, LastSN: running, Color: inf.color},
+				to:   mem.child.from,
+			})
+		}
+	}
+	s.mu.Unlock()
+	for _, d := range directs {
+		s.ep.Broadcast(d.replicas, d.resp)
+	}
+	for _, c := range children {
+		s.ep.Send(c.to, c.resp)
+	}
+}
+
+// assignLocked advances the counter by n and returns the SN of the last
+// assigned number. Caller holds s.mu.
+func (s *Sequencer) assignLocked(n uint32) types.SN {
+	s.counter += n
+	s.stats.Assigned += uint64(n)
+	return s.epoch.SNFor(s.counter)
+}
+
+// rememberTokenLocked inserts token dedup state with FIFO eviction.
+func (s *Sequencer) rememberTokenLocked(t types.Token, st *tokenState) {
+	if _, exists := s.tokens[t]; !exists {
+		s.tokenOrder = append(s.tokenOrder, t)
+	}
+	s.tokens[t] = st
+	for len(s.tokenOrder) > s.cfg.TokenCacheSize {
+		old := s.tokenOrder[0]
+		s.tokenOrder = s.tokenOrder[1:]
+		delete(s.tokens, old)
+	}
+}
+
+func (s *Sequencer) enqueueLocked(color types.ColorID, m member) {
+	q := s.pending[color]
+	if q == nil {
+		q = &[]member{}
+		s.pending[color] = q
+	}
+	*q = append(*q, m)
+}
+
+func (s *Sequencer) kickFlusher() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// flusherLoop merges pending members per color and sends them upward every
+// BatchInterval.
+func (s *Sequencer) flusherLoop() {
+	defer s.stopped.Done()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.kick:
+		}
+		if s.cfg.BatchInterval > 0 {
+			// The aggregation window: requests arriving in this interval
+			// are merged (§5.2). Use a plain sleep for ≥1ms windows and a
+			// spin for microsecond ones.
+			if s.cfg.BatchInterval >= time.Millisecond {
+				time.Sleep(s.cfg.BatchInterval)
+			} else {
+				start := time.Now()
+				for time.Since(start) < s.cfg.BatchInterval {
+					runtime.Gosched() // let requests join the window
+				}
+			}
+		}
+		s.flushPending()
+	}
+}
+
+// flushPending sends one aggregated request per pending color.
+func (s *Sequencer) flushPending() {
+	type out struct {
+		req proto.AggOrderReq
+		to  types.NodeID
+	}
+	var outs []out
+	s.mu.Lock()
+	if s.role != RoleLeader {
+		s.pending = make(map[types.ColorID]*[]member)
+		s.mu.Unlock()
+		return
+	}
+	for color, q := range s.pending {
+		if len(*q) == 0 {
+			continue
+		}
+		parentLeader, ok := s.parentLeaderLocked()
+		if !ok {
+			// No parent (we are the tree root) yet the color is not ours:
+			// misrouted; drop, replicas will retry.
+			s.stats.DroppedStale += uint64(len(*q))
+			delete(s.pending, color)
+			continue
+		}
+		s.batchSeq++
+		id := s.batchSeq
+		members := append([]member(nil), (*q)...)
+		var total uint32
+		for _, m := range members {
+			total += m.n
+		}
+		s.inflight[id] = &inflight{color: color, total: total, members: members, sentAt: time.Now()}
+		s.stats.BatchesSent++
+		outs = append(outs, out{
+			req: proto.AggOrderReq{Color: color, BatchID: id, Total: total, From: s.cfg.ID},
+			to:  parentLeader,
+		})
+		delete(s.pending, color)
+	}
+	s.mu.Unlock()
+	for _, o := range outs {
+		s.ep.Send(o.to, o.req)
+	}
+}
+
+// parentLeaderLocked resolves the current leader of the parent region.
+func (s *Sequencer) parentLeaderLocked() (types.NodeID, bool) {
+	parent, has, err := s.topo.Parent(s.cfg.Region)
+	if err != nil || !has {
+		return 0, false
+	}
+	leader, err := s.topo.Leader(parent)
+	if err != nil {
+		return 0, false
+	}
+	return leader, true
+}

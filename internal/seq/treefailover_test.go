@@ -1,0 +1,100 @@
+package seq
+
+import (
+	"testing"
+	"time"
+
+	"flexlog/internal/topology"
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+// TestRootFailoverRedrivesInflightBatches covers §6.3 "Failures of the
+// root and middle sequencers": a leaf with aggregated batches in flight to
+// a crashed root re-sends them after the retry timeout, the new root
+// leader answers, and every pending order request completes with a
+// new-epoch SN. Batch-id dedup at the owner makes the resends safe.
+func TestRootFailoverRedrivesInflightBatches(t *testing.T) {
+	net := transport.NewNetwork(transport.ZeroLink())
+	topo := topology.New()
+	// Root group with one backup; a leaf below it.
+	if err := topo.AddRegion(0, 0, 100, []types.NodeID{101}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddRegion(1, 0, 110, nil); err != nil {
+		t.Fatal(err)
+	}
+	topo.AddShard(1, 1, []types.NodeID{1})
+	rep := newFakeReplica(t, net, 1)
+
+	mkCfg := func(id types.NodeID, region types.ColorID, leader bool) Config {
+		cfg := testConfig(id, region, topo)
+		cfg.StartAsLeader = leader
+		cfg.RetryTimeout = 40 * time.Millisecond
+		return cfg
+	}
+	root, err := New(mkCfg(100, 0, true), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Stop()
+	backup, err := New(mkCfg(101, 0, false), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backup.Stop()
+	leaf, err := New(mkCfg(110, 1, true), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Stop()
+
+	// Warm up: one request through the healthy tree.
+	rep.ep.Send(110, orderReq(1, 0, 1))
+	waitUntil(t, 5*time.Second, func() bool { return len(rep.responses()) == 1 }, "warmup response")
+
+	// Cut the root away from the leaf only: the leaf's next batch is lost
+	// in flight, while the backup still sees the root's heartbeats stop
+	// once we crash it.
+	net.Partition(110, 100)
+	rep.ep.Send(110, orderReq(2, 0, 1))
+	time.Sleep(10 * time.Millisecond) // batch sent into the void
+	root.Crash()
+	net.Isolate(100)
+
+	// The backup must take over (it needs the majority of the 2-node
+	// group: itself + ... group is {100,101}, majority 2 — with 100 dead
+	// it cannot win). Use Rejoin to let the old root grant the claim:
+	// instead, heal the partition so the claim can reach node 100? Node
+	// 100 is stopped and ignores messages. With a 2-member group and a
+	// dead leader, election cannot reach quorum — this mirrors f=0 for
+	// 2f=1 backups. So use the leaf-resend path against the SAME root
+	// after a restart instead.
+	net.Rejoin(100)
+	net.Heal(110, 100)
+	net.Deregister(100)
+	restarted, err := New(mkCfg(100, 0, false), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Stop()
+
+	// One of {restarted 100, backup 101} wins the next epoch and serves;
+	// the leaf re-drives its in-flight batch to the current leader and
+	// request 2 completes.
+	waitUntil(t, 10*time.Second, func() bool { return len(rep.responses()) >= 2 }, "re-driven batch response")
+	resp := rep.responses()[1]
+	if resp.Token != types.MakeToken(9, 2) {
+		t.Fatalf("unexpected token %v", resp.Token)
+	}
+	if resp.LastSN.Epoch() < 2 {
+		t.Fatalf("re-driven SN still in epoch %d", resp.LastSN.Epoch())
+	}
+	if leaf.Stats().Resends == 0 {
+		t.Fatal("leaf never re-sent the in-flight batch")
+	}
+
+	// Subsequent requests keep working against the new leader.
+	rep.ep.Send(110, orderReq(3, 0, 1))
+	waitUntil(t, 5*time.Second, func() bool { return len(rep.responses()) >= 3 }, "post-failover request")
+}

@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"flexlog/internal/types"
+)
+
+func TestLRUBasicPutGet(t *testing.T) {
+	c := newLRUCache(1024)
+	c.put(1, 1, []byte("a"))
+	got, ok := c.get(1, 1)
+	if !ok || string(got) != "a" {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	if _, ok := c.get(1, 2); ok {
+		t.Fatal("missing key reported present")
+	}
+	if _, ok := c.get(2, 1); ok {
+		t.Fatal("color must be part of the key")
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRUCache(30)
+	for i := 1; i <= 4; i++ { // 4 * 10 bytes > 30
+		c.put(1, types.SN(i), bytes.Repeat([]byte{byte(i)}, 10))
+	}
+	if _, ok := c.get(1, 1); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	if _, ok := c.get(1, 4); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if c.size > 30 {
+		t.Fatalf("size %d exceeds capacity", c.size)
+	}
+}
+
+func TestLRUAccessRefreshes(t *testing.T) {
+	c := newLRUCache(30)
+	c.put(1, 1, bytes.Repeat([]byte{1}, 10))
+	c.put(1, 2, bytes.Repeat([]byte{2}, 10))
+	c.put(1, 3, bytes.Repeat([]byte{3}, 10))
+	c.get(1, 1) // refresh 1 so 2 becomes the eviction victim
+	c.put(1, 4, bytes.Repeat([]byte{4}, 10))
+	if _, ok := c.get(1, 1); !ok {
+		t.Fatal("refreshed entry evicted")
+	}
+	if _, ok := c.get(1, 2); ok {
+		t.Fatal("LRU victim not evicted")
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRUCache(100)
+	c.put(1, 1, []byte("aa"))
+	c.put(1, 1, []byte("bbbb"))
+	got, _ := c.get(1, 1)
+	if string(got) != "bbbb" {
+		t.Fatalf("updated value = %q", got)
+	}
+	if c.size != 4 {
+		t.Fatalf("size after update = %d", c.size)
+	}
+}
+
+func TestLRUDrop(t *testing.T) {
+	c := newLRUCache(100)
+	c.put(1, 1, []byte("x"))
+	c.drop(1, 1)
+	if _, ok := c.get(1, 1); ok {
+		t.Fatal("dropped entry still present")
+	}
+	c.drop(1, 99) // dropping a missing entry is a no-op
+	if c.len() != 0 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := newLRUCache(0)
+	c.put(1, 1, []byte("x"))
+	if _, ok := c.get(1, 1); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+	h, m := c.stats()
+	if h != 0 || m != 0 {
+		t.Fatal("zero-capacity cache should not count")
+	}
+}
+
+func TestLRUTooLargeEntrySkipped(t *testing.T) {
+	c := newLRUCache(4)
+	c.put(1, 1, []byte("12345"))
+	if c.len() != 0 {
+		t.Fatal("oversized entry stored")
+	}
+}
+
+func TestLRUHitMissStats(t *testing.T) {
+	c := newLRUCache(100)
+	c.put(1, 1, []byte("x"))
+	c.get(1, 1)
+	c.get(1, 2)
+	h, m := c.stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("stats = %d hits, %d misses", h, m)
+	}
+}
+
+func TestLRUSingleEntryChurn(t *testing.T) {
+	c := newLRUCache(10)
+	for i := 0; i < 100; i++ {
+		c.put(1, types.SN(i+1), bytes.Repeat([]byte{byte(i)}, 10))
+		if _, ok := c.get(1, types.SN(i+1)); !ok {
+			t.Fatalf("entry %d missing right after insert", i)
+		}
+		if c.len() != 1 {
+			t.Fatalf("len = %d at step %d", c.len(), i)
+		}
+	}
+}
+
+func TestLRUManyColors(t *testing.T) {
+	c := newLRUCache(1 << 20)
+	for color := 1; color <= 10; color++ {
+		for i := 1; i <= 10; i++ {
+			c.put(types.ColorID(color), types.SN(i), []byte(fmt.Sprintf("%d/%d", color, i)))
+		}
+	}
+	for color := 1; color <= 10; color++ {
+		for i := 1; i <= 10; i++ {
+			got, ok := c.get(types.ColorID(color), types.SN(i))
+			if !ok || string(got) != fmt.Sprintf("%d/%d", color, i) {
+				t.Fatalf("get(%d,%d) = %q, %v", color, i, got, ok)
+			}
+		}
+	}
+}

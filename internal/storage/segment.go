@@ -1,0 +1,274 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"flexlog/internal/types"
+)
+
+// PM log layout (§5.2 "the stateful log in PM").
+//
+// The PM region is divided into fixed-size segments. Each segment starts
+// with an 8-byte used-bytes watermark followed by a stream of entries:
+//
+//	[u32 kind][u32 color][u64 token][u64 sn][u32 dataLen][u32 crc][data…]
+//
+// The watermark is the validity frontier: recovery scans entries up to it.
+// Appends write the entry then advance the watermark inside one pmem
+// transaction, so a crash never exposes a torn entry. The sn field is
+// rewritten in place when the ordering layer commits the record.
+//
+// When PM fills up, the oldest fully-committed segment is flushed verbatim
+// to the SSD tier and its PM slot is reused ("a contiguous portion from the
+// start of the log is flushed to SSD and removed from PM").
+
+const (
+	// segHeaderSize covers the 8-byte used-bytes watermark and the 8-byte
+	// segment id.
+	segHeaderSize   = 16
+	entryHeaderSize = 32
+
+	entryKindRecord = 1
+	entryKindTrim   = 2
+)
+
+// segment is the DRAM descriptor of one PM segment slot.
+type segment struct {
+	id     uint64        // monotonically increasing; names the SSD file when flushed
+	slot   int           // index of the PM slot currently holding it (-1 if flushed)
+	pmOff  uint64        // base offset of the slot in the pmem pool
+	used   uint64        // bytes used including header (mirrors the PM watermark)
+	live   int           // entries not yet trimmed
+	total  int           // entries appended
+	sealed bool          // no more appends (slot full)
+	tokens []types.Token // tokens of entries in this segment (for reclamation)
+}
+
+func (s *segment) flushed() bool { return s.slot < 0 }
+
+func (s *segment) ssdName() string { return fmt.Sprintf("seg-%d", s.id) }
+
+// recSpan locates one record inside an entry's framed payload.
+type recSpan struct {
+	off uint32 // offset within the payload (past the entry header)
+	len uint32
+}
+
+// entryLoc records where an entry (one append batch) lives.
+type entryLoc struct {
+	seg        *segment
+	off        uint64 // offset of the entry header within the segment
+	payloadLen int    // framed payload length
+	spans      []recSpan
+	token      types.Token
+	color      types.ColorID
+	firstSN    types.SN // InvalidSN until committed; records occupy [firstSN, firstSN+count)
+	liveCount  int      // records not yet trimmed (== len(spans) initially)
+	dead       bool     // every record trimmed
+}
+
+func (l *entryLoc) count() int { return len(l.spans) }
+
+// lastSN returns the SN of the final record of the batch.
+func (l *entryLoc) lastSN() types.SN {
+	return l.firstSN + types.SN(l.count()-1)
+}
+
+// recordRef points at one record of a batch entry.
+type recordRef struct {
+	loc *entryLoc
+	idx int
+}
+
+// encodeBatch frames a batch of records as [u32 count][u32 len_i][data_i]….
+func encodeBatch(records [][]byte) []byte {
+	total := 4
+	for _, r := range records {
+		total += 4 + len(r)
+	}
+	buf := make([]byte, total)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(records)))
+	off := 4
+	for _, r := range records {
+		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(r)))
+		off += 4
+		copy(buf[off:], r)
+		off += len(r)
+	}
+	return buf
+}
+
+// batchSpans decodes the framing of a batch payload into record spans.
+func batchSpans(payload []byte) ([]recSpan, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("storage: batch payload too short")
+	}
+	count := binary.LittleEndian.Uint32(payload[0:4])
+	// Never trust the count for allocation: every record needs at least a
+	// 4-byte length prefix, so more than len(payload)/4 records cannot fit.
+	if uint64(count) > uint64(len(payload))/4 {
+		return nil, fmt.Errorf("storage: batch count %d impossible for %d-byte payload", count, len(payload))
+	}
+	spans := make([]recSpan, 0, count)
+	off := uint32(4)
+	for i := uint32(0); i < count; i++ {
+		if int(off)+4 > len(payload) {
+			return nil, fmt.Errorf("storage: truncated batch record %d", i)
+		}
+		l := binary.LittleEndian.Uint32(payload[off : off+4])
+		off += 4
+		if int(off)+int(l) > len(payload) {
+			return nil, fmt.Errorf("storage: truncated batch record %d payload", i)
+		}
+		spans = append(spans, recSpan{off: off, len: l})
+		off += l
+	}
+	return spans, nil
+}
+
+func entrySize(dataLen int) uint64 {
+	return uint64(entryHeaderSize + dataLen)
+}
+
+// encodeEntryHeader fills a 32-byte header.
+func encodeEntryHeader(buf []byte, kind uint32, color types.ColorID, token types.Token, sn types.SN, data []byte) {
+	binary.LittleEndian.PutUint32(buf[0:4], kind)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(color))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(token))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(sn))
+	binary.LittleEndian.PutUint32(buf[24:28], uint32(len(data)))
+	binary.LittleEndian.PutUint32(buf[28:32], crc32.ChecksumIEEE(data))
+}
+
+type decodedEntry struct {
+	kind    uint32
+	color   types.ColorID
+	token   types.Token
+	sn      types.SN
+	dataLen int
+	crc     uint32
+}
+
+func decodeEntryHeader(buf []byte) decodedEntry {
+	return decodedEntry{
+		kind:    binary.LittleEndian.Uint32(buf[0:4]),
+		color:   types.ColorID(binary.LittleEndian.Uint32(buf[4:8])),
+		token:   types.Token(binary.LittleEndian.Uint64(buf[8:16])),
+		sn:      types.SN(binary.LittleEndian.Uint64(buf[16:24])),
+		dataLen: int(binary.LittleEndian.Uint32(buf[24:28])),
+		crc:     binary.LittleEndian.Uint32(buf[28:32]),
+	}
+}
+
+// appendEntry writes one entry into the segment's PM slot and advances the
+// watermark, all inside a single pmem transaction. Returns the entry offset
+// within the segment.
+func (st *Store) appendEntry(seg *segment, kind uint32, color types.ColorID, token types.Token, sn types.SN, data []byte) (uint64, error) {
+	need := entrySize(len(data))
+	if seg.used+need > st.cfg.SegmentSize {
+		return 0, errSegmentFull
+	}
+	buf := make([]byte, entryHeaderSize+len(data))
+	encodeEntryHeader(buf, kind, color, token, sn, data)
+	copy(buf[entryHeaderSize:], data)
+
+	tx, err := st.pm.Begin()
+	if err != nil {
+		return 0, err
+	}
+	entryOff := seg.used
+	if err := tx.Put(seg.pmOff+entryOff, buf); err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	var wm [8]byte
+	binary.LittleEndian.PutUint64(wm[:], seg.used+need)
+	if err := tx.Put(seg.pmOff, wm[:]); err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	seg.used += need
+	seg.total++
+	if kind == entryKindRecord {
+		seg.live++
+	}
+	return entryOff, nil
+}
+
+// commitEntrySN rewrites the sn field of an entry in place (transactional).
+func (st *Store) commitEntrySN(loc *entryLoc, sn types.SN) error {
+	if loc.seg.flushed() {
+		// A record can only be flushed once committed; uncommitted entries
+		// always stay in PM.
+		return fmt.Errorf("storage: commit of flushed entry %v", loc.token)
+	}
+	tx, err := st.pm.Begin()
+	if err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(sn))
+	if err := tx.Put(loc.seg.pmOff+loc.off+16, buf[:]); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// readRecordData fetches one record of an entry from PM or the SSD tier.
+func (st *Store) readRecordData(loc *entryLoc, idx int) ([]byte, error) {
+	if idx < 0 || idx >= loc.count() {
+		return nil, fmt.Errorf("storage: record index %d out of batch of %d", idx, loc.count())
+	}
+	sp := loc.spans[idx]
+	buf := make([]byte, sp.len)
+	dataOff := loc.off + entryHeaderSize + uint64(sp.off)
+	if loc.seg.flushed() {
+		if err := st.dev.ReadAt(loc.seg.ssdName(), int64(dataOff), buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	if err := st.pm.Read(loc.seg.pmOff+dataOff, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// scanSegment walks the entries of a segment image (either a PM slot or a
+// flushed SSD file) calling fn for each decoded entry. raw must start at the
+// segment header.
+func scanSegment(raw []byte, fn func(off uint64, e decodedEntry, data []byte) error) error {
+	if len(raw) < segHeaderSize {
+		return fmt.Errorf("storage: segment image too small (%d bytes)", len(raw))
+	}
+	used := binary.LittleEndian.Uint64(raw[0:8])
+	if used > uint64(len(raw)) {
+		return fmt.Errorf("storage: watermark %d beyond image %d", used, len(raw))
+	}
+	off := uint64(segHeaderSize)
+	for off < used {
+		if off+entryHeaderSize > used {
+			return fmt.Errorf("storage: truncated entry header at %d", off)
+		}
+		e := decodeEntryHeader(raw[off : off+entryHeaderSize])
+		end := off + entrySize(e.dataLen)
+		if end > used {
+			return fmt.Errorf("storage: truncated entry payload at %d", off)
+		}
+		data := raw[off+entryHeaderSize : end]
+		if e.kind == entryKindRecord && crc32.ChecksumIEEE(data) != e.crc {
+			return fmt.Errorf("storage: crc mismatch at %d (token %v)", off, e.token)
+		}
+		if err := fn(off, e, data); err != nil {
+			return err
+		}
+		off = end
+	}
+	return nil
+}

@@ -1,0 +1,835 @@
+// Package storage implements the replica storage stack of FlexLog (§5.2):
+// a volatile DRAM cache on top of a crash-consistent persistent-memory log,
+// with an SSD tier that absorbs the oldest part of the log when PM fills up.
+//
+// Writes land in PM (and the cache); reads consult the cache, then PM, then
+// the SSD. The PM log is segmented; when no PM segment slot is free, the
+// oldest fully-committed segment is flushed verbatim to the SSD and its slot
+// is reused. Recovery rebuilds all volatile indexes by scanning the PM slots
+// and flushed SSD segments — the linear cost measured by the paper's Fig. 10.
+//
+// One storage entry corresponds to one append batch (Alg. 1's records[]):
+// the batch is framed into a single crash-consistent entry and, once the
+// ordering layer assigns the batch its SN range, each record is indexed at
+// its own sequence number.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"flexlog/internal/pmem"
+	"flexlog/internal/ssd"
+	"flexlog/internal/types"
+)
+
+var (
+	// ErrNotFound is returned when no committed record has the given SN.
+	ErrNotFound = errors.New("storage: record not found")
+	// ErrTrimmed is returned when the requested SN was garbage collected.
+	ErrTrimmed = errors.New("storage: record trimmed")
+	// ErrDuplicateToken is returned when a token was already persisted.
+	ErrDuplicateToken = errors.New("storage: duplicate token")
+	// ErrUnknownToken is returned by Commit for a token never persisted.
+	ErrUnknownToken = errors.New("storage: unknown token")
+	// ErrOutOfSpace is returned when PM is full and nothing can be flushed.
+	ErrOutOfSpace = errors.New("storage: out of space")
+
+	errSegmentFull = errors.New("storage: segment full")
+)
+
+// Config sizes the storage stack.
+type Config struct {
+	SegmentSize uint64 // bytes per PM segment (including 16-byte header)
+	NumSegments int    // PM slots
+	CacheBytes  int    // DRAM cache capacity; 0 disables the cache
+	PMModel     pmem.LatencyModel
+	SSDModel    ssd.LatencyModel
+}
+
+// DefaultConfig returns a small but realistic configuration.
+func DefaultConfig() Config {
+	return Config{
+		SegmentSize: 1 << 20, // 1 MiB segments
+		NumSegments: 16,
+		CacheBytes:  4 << 20,
+		PMModel:     pmem.OptaneBypass(),
+		SSDModel:    ssd.NVMe(),
+	}
+}
+
+// TestConfig returns a latency-free configuration for unit tests.
+func TestConfig() Config {
+	c := DefaultConfig()
+	c.PMModel = pmem.Zero()
+	c.SSDModel = ssd.Zero()
+	return c
+}
+
+// Batch is a persisted-but-uncommitted append batch, as returned by
+// Uncommitted for recovery's order-request re-issuing (§6.3).
+type Batch struct {
+	Token   types.Token
+	Color   types.ColorID
+	Records [][]byte
+}
+
+// colorIndex is the per-color volatile view of the log.
+type colorIndex struct {
+	bySN    map[types.SN]recordRef
+	maxSN   types.SN
+	trimmed types.SN // records with sn <= trimmed are gone
+}
+
+// Store is one replica's storage server.
+type Store struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	pm       *pmem.Pool
+	dev      *ssd.Device
+	cache    *lruCache
+	slots    []uint64   // pm offset of each slot
+	slotSeg  []*segment // segment currently occupying each slot (nil = free)
+	segs     map[uint64]*segment
+	active   *segment
+	nextSeg  uint64
+	byToken  map[types.Token]*entryLoc
+	byColor  map[types.ColorID]*colorIndex
+	flushes  uint64
+	recovers uint64
+}
+
+// New creates a Store with fresh devices per cfg.
+func New(cfg Config) (*Store, error) {
+	if cfg.SegmentSize < segHeaderSize+entryHeaderSize {
+		return nil, fmt.Errorf("storage: segment size %d too small", cfg.SegmentSize)
+	}
+	if cfg.NumSegments < 1 {
+		return nil, fmt.Errorf("storage: need at least one segment")
+	}
+	pmSize := int(cfg.SegmentSize)*cfg.NumSegments + 64
+	pool, err := pmem.New(pmSize, cfg.PMModel)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithDevices(cfg, pool, ssd.New(cfg.SSDModel))
+}
+
+// NewWithDevices creates a Store over existing devices (used by tests and
+// by recovery flows that re-attach to surviving media).
+func NewWithDevices(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error) {
+	st := &Store{
+		cfg:     cfg,
+		pm:      pool,
+		dev:     dev,
+		cache:   newLRUCache(cfg.CacheBytes),
+		segs:    make(map[uint64]*segment),
+		byToken: make(map[types.Token]*entryLoc),
+		byColor: make(map[types.ColorID]*colorIndex),
+		nextSeg: 1,
+	}
+	for i := 0; i < cfg.NumSegments; i++ {
+		off, err := pool.Alloc(int(cfg.SegmentSize))
+		if err != nil {
+			return nil, fmt.Errorf("storage: allocating slot %d: %w", i, err)
+		}
+		st.slots = append(st.slots, off)
+		st.slotSeg = append(st.slotSeg, nil)
+	}
+	if err := st.newActiveSegment(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *Store) color(c types.ColorID) *colorIndex {
+	ci := st.byColor[c]
+	if ci == nil {
+		ci = &colorIndex{bySN: make(map[types.SN]recordRef)}
+		st.byColor[c] = ci
+	}
+	return ci
+}
+
+// newActiveSegment claims a free slot (flushing the oldest committed
+// segment if none is free) and installs a fresh segment in it.
+// Caller holds st.mu.
+func (st *Store) newActiveSegment() error {
+	slot := -1
+	for i, s := range st.slotSeg {
+		if s == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		var err error
+		slot, err = st.flushOldest()
+		if err != nil {
+			return err
+		}
+	}
+	seg := &segment{id: st.nextSeg, slot: slot, pmOff: st.slots[slot], used: segHeaderSize}
+	st.nextSeg++
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], segHeaderSize)
+	binary.LittleEndian.PutUint64(hdr[8:16], seg.id)
+	if err := st.pm.Write(seg.pmOff, hdr[:]); err != nil {
+		return err
+	}
+	st.slotSeg[slot] = seg
+	st.segs[seg.id] = seg
+	st.active = seg
+	return nil
+}
+
+// flushOldest frees one PM slot: a fully-trimmed (dead) segment is simply
+// reclaimed; otherwise the oldest fully-committed sealed segment is flushed
+// to the SSD ("a contiguous portion from the start of the log is flushed to
+// SSD and removed from PM", §5.2). Caller holds st.mu.
+func (st *Store) flushOldest() (int, error) {
+	// Prefer reclaiming a dead segment — trimmed data needs no SSD write.
+	var dead *segment
+	for _, seg := range st.segs {
+		if seg.flushed() || seg == st.active || seg.live > 0 {
+			continue
+		}
+		if !st.segmentFlushable(seg) {
+			continue // has uncommitted entries
+		}
+		if dead == nil || seg.id < dead.id {
+			dead = seg
+		}
+	}
+	if dead != nil {
+		slot := dead.slot
+		st.dropSegmentLocked(dead)
+		return slot, nil
+	}
+	var victim *segment
+	for _, seg := range st.segs {
+		if seg.flushed() || seg == st.active {
+			continue
+		}
+		if !st.segmentFlushable(seg) {
+			continue
+		}
+		if victim == nil || seg.id < victim.id {
+			victim = seg
+		}
+	}
+	if victim == nil {
+		return -1, ErrOutOfSpace
+	}
+	raw := make([]byte, victim.used)
+	if err := st.pm.Read(victim.pmOff, raw); err != nil {
+		return -1, err
+	}
+	name := victim.ssdName()
+	if err := st.dev.Create(name); err != nil {
+		return -1, err
+	}
+	if _, err := st.dev.Append(name, raw); err != nil {
+		return -1, err
+	}
+	if err := st.dev.Sync(name); err != nil {
+		return -1, err
+	}
+	slot := victim.slot
+	victim.slot = -1
+	st.slotSeg[slot] = nil
+	st.flushes++
+	return slot, nil
+}
+
+// segmentFlushable reports whether every live entry of the segment is
+// committed (uncommitted entries must stay in PM because their sn field is
+// still mutable).
+func (st *Store) segmentFlushable(seg *segment) bool {
+	for _, tok := range seg.tokens {
+		if loc := st.byToken[tok]; loc != nil && loc.seg == seg && !loc.dead && !loc.firstSN.Valid() {
+			return false
+		}
+	}
+	return true
+}
+
+// dropSegmentLocked removes a fully-dead segment and all token index
+// entries pointing into it. Caller holds st.mu.
+func (st *Store) dropSegmentLocked(seg *segment) {
+	for _, tok := range seg.tokens {
+		if loc := st.byToken[tok]; loc != nil && loc.seg == seg {
+			delete(st.byToken, tok)
+		}
+	}
+	if seg.slot >= 0 {
+		st.slotSeg[seg.slot] = nil
+	}
+	delete(st.segs, seg.id)
+}
+
+// Put persists a single-record append (convenience wrapper over PutBatch).
+func (st *Store) Put(color types.ColorID, token types.Token, data []byte) error {
+	return st.PutBatch(color, token, [][]byte{data})
+}
+
+// PutBatch persists an uncommitted append batch (Alg. 1 line 17:
+// "persist(records[], t)"). Duplicate tokens are rejected so append retries
+// are idempotent.
+func (st *Store) PutBatch(color types.ColorID, token types.Token, records [][]byte) error {
+	if len(records) == 0 {
+		return fmt.Errorf("storage: empty batch for token %v", token)
+	}
+	payload := encodeBatch(records)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.byToken[token]; ok {
+		return ErrDuplicateToken
+	}
+	if entrySize(len(payload)) > st.cfg.SegmentSize-segHeaderSize {
+		return fmt.Errorf("storage: batch of %d bytes exceeds segment capacity", len(payload))
+	}
+	off, err := st.appendEntry(st.active, entryKindRecord, color, token, types.InvalidSN, payload)
+	if errors.Is(err, errSegmentFull) {
+		st.active.sealed = true
+		if err = st.newActiveSegment(); err != nil {
+			return err
+		}
+		off, err = st.appendEntry(st.active, entryKindRecord, color, token, types.InvalidSN, payload)
+	}
+	if err != nil {
+		return err
+	}
+	spans, err := batchSpans(payload)
+	if err != nil {
+		return err
+	}
+	st.byToken[token] = &entryLoc{
+		seg:        st.active,
+		off:        off,
+		payloadLen: len(payload),
+		spans:      spans,
+		token:      token,
+		color:      color,
+		liveCount:  len(spans),
+	}
+	st.active.tokens = append(st.active.tokens, token)
+	return nil
+}
+
+// Commit assigns the batch its SN range, making its records readable
+// (Alg. 1 line 24: "commit_all(t, sn)"). Per the protocol, lastSN is the SN
+// of the final record of the batch; a batch of n records occupies
+// [lastSN-n+1, lastSN]. Re-committing with the same SN is a no-op.
+func (st *Store) Commit(token types.Token, lastSN types.SN) error {
+	if !lastSN.Valid() {
+		return fmt.Errorf("storage: cannot commit %v with invalid SN", token)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	loc, ok := st.byToken[token]
+	if !ok {
+		return ErrUnknownToken
+	}
+	if int(lastSN.Counter()) < loc.count() {
+		return fmt.Errorf("storage: SN %v too small for batch of %d", lastSN, loc.count())
+	}
+	firstSN := lastSN - types.SN(loc.count()-1)
+	if loc.firstSN.Valid() {
+		if loc.firstSN == firstSN {
+			return nil
+		}
+		return fmt.Errorf("storage: token %v already committed at %v, got %v", token, loc.firstSN, firstSN)
+	}
+	if err := st.commitEntrySN(loc, firstSN); err != nil {
+		return err
+	}
+	loc.firstSN = firstSN
+	ci := st.color(loc.color)
+	for i := 0; i < loc.count(); i++ {
+		sn := firstSN + types.SN(i)
+		if sn <= ci.trimmed {
+			// Committed below the trim watermark: immediately dead
+			// (a trim raced ahead of this commit).
+			loc.liveCount--
+			continue
+		}
+		if _, taken := ci.bySN[sn]; taken {
+			// Write-Once-Read-Many (§4): an SN never changes its record.
+			// A colliding assignment (which a correct ordering layer never
+			// produces) loses; its slot becomes a dead entry.
+			loc.liveCount--
+			continue
+		}
+		ci.bySN[sn] = recordRef{loc: loc, idx: i}
+		if sn > ci.maxSN {
+			ci.maxSN = sn
+		}
+		// Freshly appended records also populate the cache (§5.2).
+		if !loc.seg.flushed() {
+			sp := loc.spans[i]
+			data := make([]byte, sp.len)
+			if err := st.pm.Read(loc.seg.pmOff+loc.off+entryHeaderSize+uint64(sp.off), data); err == nil {
+				st.cache.put(loc.color, sn, data)
+			}
+		}
+	}
+	if loc.liveCount == 0 {
+		loc.dead = true
+		loc.seg.live--
+	}
+	return nil
+}
+
+// Has reports whether the token has been persisted (committed or not).
+func (st *Store) Has(token types.Token) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.byToken[token]
+	return ok
+}
+
+// TokenSN returns the last SN assigned to a persisted token (InvalidSN if
+// uncommitted) and whether the token is known.
+func (st *Store) TokenSN(token types.Token) (types.SN, bool) {
+	_, sn, ok := st.TokenInfo(token)
+	return sn, ok
+}
+
+// TokenInfo returns the color and last SN of a persisted token (InvalidSN
+// if uncommitted) and whether the token is known.
+func (st *Store) TokenInfo(token types.Token) (types.ColorID, types.SN, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	loc, ok := st.byToken[token]
+	if !ok {
+		return 0, types.InvalidSN, false
+	}
+	if !loc.firstSN.Valid() {
+		return loc.color, types.InvalidSN, true
+	}
+	return loc.color, loc.lastSN(), true
+}
+
+// Get returns the payload of the committed record (color, sn), consulting
+// cache, then PM, then SSD (§5.2: "the volatile cache is first read, then
+// PM, then the SSD").
+func (st *Store) Get(color types.ColorID, sn types.SN) ([]byte, error) {
+	if data, ok := st.cache.get(color, sn); ok {
+		return data, nil
+	}
+	st.mu.RLock()
+	ci := st.byColor[color]
+	if ci == nil {
+		st.mu.RUnlock()
+		return nil, ErrNotFound
+	}
+	if sn <= ci.trimmed {
+		st.mu.RUnlock()
+		return nil, ErrTrimmed
+	}
+	ref, ok := ci.bySN[sn]
+	if !ok {
+		st.mu.RUnlock()
+		return nil, ErrNotFound
+	}
+	data, err := st.readRecordData(ref.loc, ref.idx)
+	st.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	st.cache.put(color, sn, data)
+	return data, nil
+}
+
+// MaxSN returns the largest committed SN seen for the color.
+func (st *Store) MaxSN(color types.ColorID) types.SN {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if ci := st.byColor[color]; ci != nil {
+		return ci.maxSN
+	}
+	return types.InvalidSN
+}
+
+// Bounds returns the [head, tail] SN pair of the color's log: head is the
+// smallest retained SN, tail the largest committed one.
+func (st *Store) Bounds(color types.ColorID) (head, tail types.SN) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ci := st.byColor[color]
+	if ci == nil || len(ci.bySN) == 0 {
+		return types.InvalidSN, types.InvalidSN
+	}
+	first := true
+	for sn := range ci.bySN {
+		if first || sn < head {
+			head = sn
+		}
+		first = false
+	}
+	return head, ci.maxSN
+}
+
+// Scan returns all committed records of the color sorted by SN (the
+// replica-local half of the Subscribe protocol, §6.2).
+func (st *Store) Scan(color types.ColorID) ([]types.Record, error) {
+	st.mu.RLock()
+	ci := st.byColor[color]
+	if ci == nil {
+		st.mu.RUnlock()
+		return nil, nil
+	}
+	type snRef struct {
+		sn  types.SN
+		ref recordRef
+	}
+	refs := make([]snRef, 0, len(ci.bySN))
+	for sn, ref := range ci.bySN {
+		refs = append(refs, snRef{sn, ref})
+	}
+	st.mu.RUnlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].sn < refs[j].sn })
+	out := make([]types.Record, 0, len(refs))
+	for _, r := range refs {
+		st.mu.RLock()
+		data, err := st.readRecordData(r.ref.loc, r.ref.idx)
+		st.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, types.Record{Token: r.ref.loc.token, SN: r.sn, Color: color, Data: data})
+	}
+	return out, nil
+}
+
+// ScanFrom returns committed records of the color with SN > after, sorted.
+func (st *Store) ScanFrom(color types.ColorID, after types.SN) ([]types.Record, error) {
+	all, err := st.Scan(color)
+	if err != nil {
+		return nil, err
+	}
+	i := sort.Search(len(all), func(i int) bool { return all[i].SN > after })
+	return all[i:], nil
+}
+
+// Uncommitted returns batches persisted but not yet assigned SNs, used by
+// recovery to re-issue order requests (§6.3).
+func (st *Store) Uncommitted() []Batch {
+	st.mu.RLock()
+	locs := make([]*entryLoc, 0)
+	for _, loc := range st.byToken {
+		if !loc.dead && !loc.firstSN.Valid() {
+			locs = append(locs, loc)
+		}
+	}
+	st.mu.RUnlock()
+	sort.Slice(locs, func(i, j int) bool { return locs[i].token < locs[j].token })
+	out := make([]Batch, 0, len(locs))
+	for _, loc := range locs {
+		b := Batch{Token: loc.token, Color: loc.color}
+		ok := true
+		for i := 0; i < loc.count(); i++ {
+			st.mu.RLock()
+			data, err := st.readRecordData(loc, i)
+			st.mu.RUnlock()
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Records = append(b.Records, data)
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Trim deletes every record of the color with SN <= sn (§6.2). The trim is
+// persisted as a log marker so it survives crashes. Returns the remaining
+// [head, tail] bounds.
+func (st *Store) Trim(color types.ColorID, sn types.SN) (head, tail types.SN, err error) {
+	st.mu.Lock()
+	_, e := st.appendEntry(st.active, entryKindTrim, color, 0, sn, nil)
+	if errors.Is(e, errSegmentFull) {
+		st.active.sealed = true
+		if e = st.newActiveSegment(); e == nil {
+			_, e = st.appendEntry(st.active, entryKindTrim, color, 0, sn, nil)
+		}
+	}
+	if e != nil {
+		st.mu.Unlock()
+		return 0, 0, e
+	}
+	st.applyTrimLocked(color, sn)
+	st.mu.Unlock()
+	h, t := st.Bounds(color)
+	return h, t, nil
+}
+
+// applyTrimLocked removes trimmed records from the indexes. Caller holds mu.
+func (st *Store) applyTrimLocked(color types.ColorID, sn types.SN) {
+	ci := st.color(color)
+	if sn > ci.trimmed {
+		ci.trimmed = sn
+	}
+	for s, ref := range ci.bySN {
+		if s <= sn {
+			ref.loc.liveCount--
+			if ref.loc.liveCount == 0 && !ref.loc.dead {
+				ref.loc.dead = true
+				ref.loc.seg.live--
+			}
+			delete(ci.bySN, s)
+			st.cache.drop(color, s)
+		}
+	}
+}
+
+// Crash simulates a power failure of the whole storage node.
+func (st *Store) Crash() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.pm.Crash()
+	st.dev.Crash()
+}
+
+// Recover re-opens the devices and rebuilds every volatile index by
+// scanning the PM segment slots and the flushed SSD segments. This is the
+// operation measured by the paper's Fig. 10: its cost is linear in the
+// number of records to recover.
+func (st *Store) Recover() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.pm.Recover()
+	st.dev.Recover()
+
+	st.segs = make(map[uint64]*segment)
+	st.byToken = make(map[types.Token]*entryLoc)
+	st.byColor = make(map[types.ColorID]*colorIndex)
+	st.cache = newLRUCache(st.cfg.CacheBytes)
+	st.active = nil
+	st.nextSeg = 1
+	for i := range st.slotSeg {
+		st.slotSeg[i] = nil
+	}
+
+	type pendingTrim struct {
+		color types.ColorID
+		sn    types.SN
+	}
+	var trims []pendingTrim
+
+	ingest := func(seg *segment, raw []byte) error {
+		return scanSegment(raw, func(off uint64, e decodedEntry, data []byte) error {
+			seg.total++
+			switch e.kind {
+			case entryKindRecord:
+				spans, err := batchSpans(data)
+				if err != nil {
+					return err
+				}
+				seg.live++
+				loc := &entryLoc{
+					seg: seg, off: off, payloadLen: e.dataLen, spans: spans,
+					token: e.token, color: e.color, firstSN: e.sn,
+					liveCount: len(spans),
+				}
+				st.byToken[e.token] = loc
+				seg.tokens = append(seg.tokens, e.token)
+				if e.sn.Valid() {
+					ci := st.color(e.color)
+					for i := range spans {
+						sn := e.sn + types.SN(i)
+						if _, taken := ci.bySN[sn]; taken {
+							// Write-Once (§4): recovery replays segments in
+							// ascending id (persist) order, so the earlier
+							// record keeps the SN exactly as the live index
+							// did; a later colliding entry is dead.
+							loc.liveCount--
+							continue
+						}
+						ci.bySN[sn] = recordRef{loc: loc, idx: i}
+						if sn > ci.maxSN {
+							ci.maxSN = sn
+						}
+					}
+				}
+				if loc.liveCount == 0 {
+					loc.dead = true
+					seg.live--
+				}
+			case entryKindTrim:
+				trims = append(trims, pendingTrim{color: e.color, sn: e.sn})
+			}
+			return nil
+		})
+	}
+
+	// Collect every segment image — PM slots (header first, then only the
+	// used prefix: the sequential scan whose cost Fig. 10 measures) and
+	// flushed SSD files — then ingest in ascending segment-id order so the
+	// rebuilt indexes match the pre-crash ones deterministically.
+	type pendingSeg struct {
+		seg *segment
+		raw []byte
+	}
+	var images []pendingSeg
+	for i, base := range st.slots {
+		var hdr [segHeaderSize]byte
+		if err := st.pm.Read(base, hdr[:]); err != nil {
+			return err
+		}
+		used := binary.LittleEndian.Uint64(hdr[0:8])
+		id := binary.LittleEndian.Uint64(hdr[8:16])
+		if id == 0 || used < segHeaderSize || used > st.cfg.SegmentSize {
+			continue // never-used slot
+		}
+		raw := make([]byte, used)
+		if err := st.pm.Read(base, raw); err != nil {
+			return err
+		}
+		images = append(images, pendingSeg{seg: &segment{id: id, slot: i, pmOff: base, used: used}, raw: raw})
+	}
+	pmIDs := make(map[uint64]bool, len(images))
+	for _, im := range images {
+		pmIDs[im.seg.id] = true
+	}
+	for _, name := range st.dev.List() {
+		var id uint64
+		if _, err := fmt.Sscanf(name, "seg-%d", &id); err != nil {
+			continue
+		}
+		if pmIDs[id] {
+			// The PM copy wins if both exist (flush completed but slot not
+			// yet reused): drop the stale file.
+			continue
+		}
+		sz, err := st.dev.Size(name)
+		if err != nil {
+			return err
+		}
+		raw := make([]byte, sz)
+		if err := st.dev.ReadAt(name, 0, raw); err != nil {
+			return err
+		}
+		images = append(images, pendingSeg{seg: &segment{id: id, slot: -1, used: uint64(sz)}, raw: raw})
+	}
+	sort.Slice(images, func(i, j int) bool { return images[i].seg.id < images[j].seg.id })
+	for _, im := range images {
+		if err := ingest(im.seg, im.raw); err != nil {
+			return err
+		}
+		st.segs[im.seg.id] = im.seg
+		if im.seg.slot >= 0 {
+			st.slotSeg[im.seg.slot] = im.seg
+		}
+		if im.seg.id >= st.nextSeg {
+			st.nextSeg = im.seg.id + 1
+		}
+	}
+	for _, tr := range trims {
+		st.applyTrimLocked(tr.color, tr.sn)
+	}
+	// Pick or create the active segment.
+	for _, seg := range st.segs {
+		if seg.flushed() || seg.used+entryHeaderSize >= st.cfg.SegmentSize {
+			continue
+		}
+		if st.active == nil || seg.id > st.active.id {
+			st.active = seg
+		}
+	}
+	if st.active == nil {
+		if err := st.newActiveSegment(); err != nil {
+			return err
+		}
+	}
+	st.recovers++
+	return nil
+}
+
+// Stats reports storage-stack counters.
+type Stats struct {
+	Records     int
+	Committed   int
+	Flushes     uint64
+	Recoveries  uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	PM          pmem.Stats
+	SSD         ssd.Stats
+}
+
+// Stats returns a snapshot of counters across the tiers.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	committed := 0
+	for _, ci := range st.byColor {
+		committed += len(ci.bySN)
+	}
+	hits, misses := st.cache.stats()
+	return Stats{
+		Records:     len(st.byToken),
+		Committed:   committed,
+		Flushes:     st.flushes,
+		Recoveries:  st.recovers,
+		CacheHits:   hits,
+		CacheMisses: misses,
+		PM:          st.pm.Stats(),
+		SSD:         st.dev.Stats(),
+	}
+}
+
+// Attach re-opens a store over devices holding a previous incarnation's
+// data (e.g. snapshots restored by cmd/flexlog-server): the PM slots are
+// located at their canonical offsets (the same layout NewWithDevices
+// creates) and every volatile index is rebuilt by Recover's scan.
+func Attach(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error) {
+	if cfg.SegmentSize < segHeaderSize+entryHeaderSize {
+		return nil, fmt.Errorf("storage: segment size %d too small", cfg.SegmentSize)
+	}
+	if cfg.NumSegments < 1 {
+		return nil, fmt.Errorf("storage: need at least one segment")
+	}
+	need := pmem.DataStart + uint64(cfg.NumSegments)*cfg.SegmentSize
+	if uint64(pool.Size()) < need {
+		return nil, fmt.Errorf("storage: pool of %d bytes cannot hold %d segments of %d", pool.Size(), cfg.NumSegments, cfg.SegmentSize)
+	}
+	if got := pool.Allocated(); got < need {
+		return nil, fmt.Errorf("storage: pool allocation watermark %d below expected layout %d — not a store snapshot", got, need)
+	}
+	st := &Store{
+		cfg:     cfg,
+		pm:      pool,
+		dev:     dev,
+		cache:   newLRUCache(cfg.CacheBytes),
+		segs:    make(map[uint64]*segment),
+		byToken: make(map[types.Token]*entryLoc),
+		byColor: make(map[types.ColorID]*colorIndex),
+		nextSeg: 1,
+	}
+	for i := 0; i < cfg.NumSegments; i++ {
+		st.slots = append(st.slots, pmem.DataStart+uint64(i)*cfg.SegmentSize)
+		st.slotSeg = append(st.slotSeg, nil)
+	}
+	if err := st.Recover(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SaveDevices snapshots both device tiers to files (see pmem.SaveTo and
+// ssd.SaveTo); Attach restores a store from them on the next boot.
+func (st *Store) SaveDevices(pmPath, ssdPath string) error {
+	if err := st.pm.SaveTo(pmPath); err != nil {
+		return err
+	}
+	return st.dev.SaveTo(ssdPath)
+}

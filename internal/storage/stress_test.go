@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flexlog/internal/types"
+)
+
+// TestConcurrentAppendTrimReadStress hammers the store with concurrent
+// writers, trimmers and readers over many segment rollovers, then crashes
+// and recovers, verifying that no retained record was ever corrupted and
+// the store remains fully operational.
+func TestConcurrentAppendTrimReadStress(t *testing.T) {
+	cfg := Config{SegmentSize: 8 << 10, NumSegments: 6, CacheBytes: 32 << 10}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const perWriter = 400
+	var next atomic.Uint32 // global SN counter
+	var trimFloor atomic.Uint32
+
+	payloadFor := func(sn uint32) []byte {
+		return []byte(fmt.Sprintf("payload-of-%08d", sn))
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+2)
+
+	// Writers: Put+Commit with globally unique SNs.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sn := next.Add(1)
+				tok := types.MakeToken(uint32(w+1), uint32(i+1))
+				if err := st.Put(colorA, tok, payloadFor(sn)); err != nil {
+					errCh <- fmt.Errorf("put: %w", err)
+					return
+				}
+				if err := st.Commit(tok, types.MakeSN(1, sn)); err != nil {
+					errCh <- fmt.Errorf("commit: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Trimmer: keeps a sliding window of ~300 records.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			frontier := next.Load()
+			if frontier >= uint32(writers*perWriter) {
+				return
+			}
+			if frontier > 300 {
+				cut := frontier - 300
+				trimFloor.Store(cut)
+				if _, _, err := st.Trim(colorA, types.MakeSN(1, cut)); err != nil {
+					errCh <- fmt.Errorf("trim: %w", err)
+					return
+				}
+			}
+		}
+	}()
+	// Readers: any successfully read record must carry its own payload.
+	for rdr := 0; rdr < 2; rdr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				frontier := next.Load()
+				if frontier < 2 {
+					continue
+				}
+				sn := uint32(rng.Intn(int(frontier))) + 1
+				data, err := st.Get(colorA, types.MakeSN(1, sn))
+				if err != nil {
+					continue // trimmed / not yet committed: fine
+				}
+				if !bytes.Equal(data, payloadFor(sn)) {
+					errCh <- fmt.Errorf("read sn=%d returned %q", sn, data)
+					return
+				}
+			}
+		}(int64(rdr) + 42)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Crash + recover, then verify the retained window end-to-end.
+	st.Crash()
+	if err := st.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	total := uint32(writers * perWriter)
+	floor := trimFloor.Load()
+	missing := 0
+	for sn := floor + 1; sn <= total; sn++ {
+		data, err := st.Get(colorA, types.MakeSN(1, sn))
+		if err != nil {
+			missing++
+			continue
+		}
+		if !bytes.Equal(data, payloadFor(sn)) {
+			t.Fatalf("post-recovery sn=%d = %q", sn, data)
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d retained records missing after recovery", missing)
+	}
+	// Still writable.
+	if err := st.Put(colorB, types.MakeToken(9, 1), []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+}

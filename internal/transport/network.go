@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexlog/internal/simclock"
+	"flexlog/internal/types"
+)
+
+// LinkModel describes the latency of in-process links. The default model is
+// calibrated to the paper's testbed: a 10 Gbps datacenter fabric with an
+// order-request RTT of ≈110 µs (§9.3), i.e. ≈55 µs one-way per hop.
+//
+// Delay is pipelined (many messages can be in flight), while ProcCost is
+// the serial per-message processing cost at the receiving node — the term
+// that bounds a node's message capacity. It is calibrated so a leaf
+// sequencer saturates at ≈1.2 M order requests per second, the figure §9.3
+// reports, and it is what makes message-heavy protocols (Paxos' quorum
+// rounds) pay relative to FlexLog's counter bump (Fig. 4 right).
+type LinkModel struct {
+	Delay     time.Duration // one-way propagation delay (pipelined)
+	PerKB     time.Duration // serialization cost per KiB of payload size
+	ProcCost  time.Duration // serial receive-side processing per message
+	SizeOfMsg func(Message) int
+}
+
+// DatacenterLink returns the calibrated 10 Gbps fabric model.
+func DatacenterLink() LinkModel {
+	return LinkModel{
+		Delay:    55 * time.Microsecond,
+		PerKB:    800 * time.Nanosecond, // ~10 Gbps wire rate
+		ProcCost: 800 * time.Nanosecond, // ≈1.2M msgs/s node capacity
+	}
+}
+
+// ZeroLink is the latency-free model used by unit tests.
+func ZeroLink() LinkModel { return LinkModel{} }
+
+func (m LinkModel) delayFor(msg Message) time.Duration {
+	d := m.Delay
+	if m.PerKB > 0 && m.SizeOfMsg != nil {
+		d += m.PerKB * time.Duration(m.SizeOfMsg(msg)) / 1024
+	}
+	return d
+}
+
+// envelope is one in-flight message.
+type envelope struct {
+	from      types.NodeID
+	msg       Message
+	deliverAt time.Time
+}
+
+// Network is the in-process transport fabric. It provides registration,
+// per-destination FIFO delivery with pipelined delay injection, and fault
+// injection (partitions, crashed endpoints) for the recovery tests.
+type Network struct {
+	model LinkModel
+
+	mu       sync.RWMutex
+	nodes    map[types.NodeID]*inprocEndpoint
+	cut      map[[2]types.NodeID]bool // symmetric partition set
+	isolated map[types.NodeID]bool
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewNetwork creates an empty in-process network with the given link model.
+func NewNetwork(model LinkModel) *Network {
+	return &Network{
+		model:    model,
+		nodes:    make(map[types.NodeID]*inprocEndpoint),
+		cut:      make(map[[2]types.NodeID]bool),
+		isolated: make(map[types.NodeID]bool),
+	}
+}
+
+// Register attaches a node with the given handler and starts its delivery
+// loop. The handler runs on a single goroutine per endpoint.
+func (n *Network) Register(id types.NodeID, h Handler) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[id]; dup {
+		return nil, fmt.Errorf("transport: node %v already registered", id)
+	}
+	ep := &inprocEndpoint{net: n, id: id, handler: h}
+	ep.cond = sync.NewCond(&ep.qmu)
+	n.nodes[id] = ep
+	go ep.deliveryLoop()
+	return ep, nil
+}
+
+// Deregister removes a node (used when simulating permanent departure).
+func (n *Network) Deregister(id types.NodeID) {
+	n.mu.Lock()
+	ep := n.nodes[id]
+	delete(n.nodes, id)
+	n.mu.Unlock()
+	if ep != nil {
+		ep.Close()
+	}
+}
+
+// Partition cuts the (symmetric) link between a and b.
+func (n *Network) Partition(a, b types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (n *Network) Heal(a, b types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, linkKey(a, b))
+}
+
+// Isolate cuts every link of the node (a network partition of one).
+func (n *Network) Isolate(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.isolated[id] = true
+}
+
+// Rejoin reverses Isolate.
+func (n *Network) Rejoin(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.isolated, id)
+}
+
+// HealAll removes all partitions and isolations.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut = make(map[[2]types.NodeID]bool)
+	n.isolated = make(map[types.NodeID]bool)
+}
+
+// Stats returns (delivered, dropped) message counts.
+func (n *Network) Stats() (delivered, dropped uint64) {
+	return n.delivered.Load(), n.dropped.Load()
+}
+
+// NodeDelivered returns the per-node count of messages delivered so far.
+// The throughput benchmarks use these counts with the link model's
+// per-message processing cost to compute each node's modeled busy time.
+func (n *Network) NodeDelivered() map[types.NodeID]uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[types.NodeID]uint64, len(n.nodes))
+	for id, ep := range n.nodes {
+		out[id] = ep.delivered.Load()
+	}
+	return out
+}
+
+// Model returns the network's link model.
+func (n *Network) Model() LinkModel { return n.model }
+
+func linkKey(a, b types.NodeID) [2]types.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]types.NodeID{a, b}
+}
+
+func (n *Network) reachable(from, to types.NodeID) bool {
+	if n.isolated[from] || n.isolated[to] {
+		return false
+	}
+	return !n.cut[linkKey(from, to)]
+}
+
+// inprocEndpoint is one node's in-process attachment.
+type inprocEndpoint struct {
+	net       *Network
+	id        types.NodeID
+	handler   Handler
+	delivered atomic.Uint64
+
+	qmu    sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func (e *inprocEndpoint) ID() types.NodeID { return e.id }
+
+func (e *inprocEndpoint) Send(to types.NodeID, msg Message) error {
+	n := e.net
+	n.mu.RLock()
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.mu.RUnlock()
+		return fmt.Errorf("%w: %v", ErrUnknownNode, to)
+	}
+	if !n.reachable(e.id, to) {
+		n.mu.RUnlock()
+		n.dropped.Add(1)
+		return ErrPartitioned
+	}
+	n.mu.RUnlock()
+
+	env := envelope{from: e.id, msg: msg}
+	if simclock.Enabled() {
+		env.deliverAt = time.Now().Add(n.model.delayFor(msg))
+	}
+	dst.qmu.Lock()
+	if dst.closed {
+		dst.qmu.Unlock()
+		return ErrClosed
+	}
+	dst.queue = append(dst.queue, env)
+	dst.cond.Signal()
+	dst.qmu.Unlock()
+	return nil
+}
+
+func (e *inprocEndpoint) Broadcast(tos []types.NodeID, msg Message) error {
+	var firstErr error
+	for _, to := range tos {
+		if err := e.Send(to, msg); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.qmu.Lock()
+	e.closed = true
+	e.queue = nil
+	e.cond.Broadcast()
+	e.qmu.Unlock()
+	return nil
+}
+
+// deliveryLoop pops envelopes in arrival order, waits out each one's
+// delivery deadline (pipelined: deadlines were stamped at send time), and
+// invokes the handler.
+func (e *inprocEndpoint) deliveryLoop() {
+	for {
+		e.qmu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.qmu.Unlock()
+			return
+		}
+		env := e.queue[0]
+		e.queue = e.queue[1:]
+		e.qmu.Unlock()
+
+		if !env.deliverAt.IsZero() {
+			simclock.SpinUntil(env.deliverAt)
+			// Serial receive-side processing: unlike the propagation
+			// delay this is NOT pipelined — it is the node's CPU.
+			simclock.Spin(e.net.model.ProcCost)
+		}
+		e.net.delivered.Add(1)
+		e.delivered.Add(1)
+		e.handler(env.from, env.msg)
+	}
+}

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"flexlog/internal/types"
+)
+
+// wireEnvelope is the gob frame exchanged on TCP connections.
+type wireEnvelope struct {
+	From types.NodeID
+	Msg  Message
+}
+
+// AddressBook maps node ids to TCP addresses for a multi-process
+// deployment. It is immutable after construction.
+type AddressBook struct {
+	addrs map[types.NodeID]string
+}
+
+// NewAddressBook builds an address book from a static map.
+func NewAddressBook(addrs map[types.NodeID]string) *AddressBook {
+	m := make(map[types.NodeID]string, len(addrs))
+	for id, a := range addrs {
+		m[id] = a
+	}
+	return &AddressBook{addrs: m}
+}
+
+// Lookup returns the address of a node.
+func (b *AddressBook) Lookup(id types.NodeID) (string, bool) {
+	a, ok := b.addrs[id]
+	return a, ok
+}
+
+// TCPEndpoint implements Endpoint over real TCP sockets with gob framing.
+// Connections are established lazily and reused; each peer gets one
+// outbound connection, preserving per-destination FIFO order.
+type TCPEndpoint struct {
+	id      types.NodeID
+	book    *AddressBook
+	handler Handler
+	ln      net.Listener
+
+	mu      sync.Mutex
+	conns   map[types.NodeID]*outConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type outConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// ListenTCP starts a TCP endpoint for node id at the address the book
+// assigns to it. The handler is invoked sequentially per inbound
+// connection (TCP already guarantees per-sender FIFO).
+func ListenTCP(id types.NodeID, book *AddressBook, h Handler) (*TCPEndpoint, error) {
+	addr, ok := book.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v has no address", ErrUnknownNode, id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ep := &TCPEndpoint{
+		id:      id,
+		book:    book,
+		handler: h,
+		ln:      ln,
+		conns:   make(map[types.NodeID]*outConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the listener's bound address (useful with ":0" books).
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// ID returns the node id this endpoint speaks as.
+func (e *TCPEndpoint) ID() types.NodeID { return e.id }
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.inbound[c] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.inbound, c)
+		e.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var env wireEnvelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		e.handler(env.From, env.Msg)
+	}
+}
+
+// Send marshals and writes msg on the (cached) connection to the peer.
+func (e *TCPEndpoint) Send(to types.NodeID, msg Message) error {
+	oc, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if err := oc.enc.Encode(wireEnvelope{From: e.id, Msg: msg}); err != nil {
+		// Drop the broken connection so the next Send redials.
+		e.mu.Lock()
+		if e.conns[to] == oc {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		oc.c.Close()
+		return err
+	}
+	return nil
+}
+
+// Broadcast sends msg to every listed node.
+func (e *TCPEndpoint) Broadcast(tos []types.NodeID, msg Message) error {
+	var firstErr error
+	for _, to := range tos {
+		if err := e.Send(to, msg); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (e *TCPEndpoint) conn(to types.NodeID) (*outConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if oc, ok := e.conns[to]; ok {
+		return oc, nil
+	}
+	addr, ok := e.book.Lookup(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownNode, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	oc := &outConn{c: c, enc: gob.NewEncoder(c)}
+	e.conns[to] = oc
+	return oc, nil
+}
+
+// Close shuts the listener and all cached connections down.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[types.NodeID]*outConn{}
+	in := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		in = append(in, c)
+	}
+	e.mu.Unlock()
+	err := e.ln.Close()
+	for _, oc := range conns {
+		oc.c.Close()
+	}
+	for _, c := range in {
+		c.Close()
+	}
+	e.wg.Wait()
+	return err
+}

@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"flexlog/internal/types"
+)
+
+type tcpTestMsg struct {
+	Seq  int
+	Body string
+}
+
+func init() {
+	gob.Register(tcpTestMsg{})
+}
+
+// freeAddrs reserves n distinct loopback addresses.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	book := NewAddressBook(map[types.NodeID]string{1: addrs[0], 2: addrs[1]})
+
+	rx := newSink()
+	b, err := ListenTCP(2, book, rx.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := ListenTCP(1, book, func(types.NodeID, Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.ID() != 1 || a.Addr() == "" {
+		t.Fatalf("endpoint identity wrong: %v %q", a.ID(), a.Addr())
+	}
+
+	const count = 100
+	for i := 0; i < count; i++ {
+		if err := a.Send(2, tcpTestMsg{Seq: i, Body: "hi"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rx.wait(t, count)
+	for i, m := range rx.snapshot() {
+		got := m.(tcpTestMsg)
+		if got.Seq != i || got.Body != "hi" {
+			t.Fatalf("message %d = %+v", i, got)
+		}
+		if rx.from[i] != 1 {
+			t.Fatalf("from = %v", rx.from[i])
+		}
+	}
+}
+
+func TestTCPBroadcast(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	book := NewAddressBook(map[types.NodeID]string{1: addrs[0], 2: addrs[1], 3: addrs[2]})
+	rx2, rx3 := newSink(), newSink()
+	b, _ := ListenTCP(2, book, rx2.handler)
+	defer b.Close()
+	c, _ := ListenTCP(3, book, rx3.handler)
+	defer c.Close()
+	a, _ := ListenTCP(1, book, func(types.NodeID, Message) {})
+	defer a.Close()
+	if err := a.Broadcast([]types.NodeID{2, 3}, tcpTestMsg{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rx2.wait(t, 1)
+	rx3.wait(t, 1)
+}
+
+func TestTCPUnknownDestination(t *testing.T) {
+	addrs := freeAddrs(t, 1)
+	book := NewAddressBook(map[types.NodeID]string{1: addrs[0]})
+	a, _ := ListenTCP(1, book, func(types.NodeID, Message) {})
+	defer a.Close()
+	if err := a.Send(9, tcpTestMsg{}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("send to unknown: %v", err)
+	}
+}
+
+func TestTCPListenWithoutAddress(t *testing.T) {
+	book := NewAddressBook(nil)
+	if _, err := ListenTCP(1, book, func(types.NodeID, Message) {}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("listen without address: %v", err)
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	book := NewAddressBook(map[types.NodeID]string{1: addrs[0], 2: addrs[1]})
+	b, _ := ListenTCP(2, book, func(types.NodeID, Message) {})
+	defer b.Close()
+	a, _ := ListenTCP(1, book, func(types.NodeID, Message) {})
+	a.Close()
+	a.Close() // double close is safe
+	if err := a.Send(2, tcpTestMsg{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	book := NewAddressBook(map[types.NodeID]string{1: addrs[0], 2: addrs[1]})
+	rx := newSink()
+	b, _ := ListenTCP(2, book, rx.handler)
+	a, _ := ListenTCP(1, book, func(types.NodeID, Message) {})
+	defer a.Close()
+
+	if err := a.Send(2, tcpTestMsg{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rx.wait(t, 1)
+
+	// Restart the peer; the first send may fail on the dead connection,
+	// after which the endpoint redials.
+	b.Close()
+	rx2 := newSink()
+	b2, err := ListenTCP(2, book, rx2.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+
+	// The first write after the peer restarted may be silently buffered on
+	// the dead connection, so retry until a message actually arrives.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("could not reconnect to restarted peer")
+		}
+		_ = a.Send(2, tcpTestMsg{Seq: 2}) // error drops the cached conn
+		select {
+		case <-rx2.ch:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func TestAddressBookLookup(t *testing.T) {
+	book := NewAddressBook(map[types.NodeID]string{7: "127.0.0.1:9999"})
+	if a, ok := book.Lookup(7); !ok || a != "127.0.0.1:9999" {
+		t.Fatalf("lookup = %q, %v", a, ok)
+	}
+	if _, ok := book.Lookup(8); ok {
+		t.Fatal("missing entry reported present")
+	}
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"flexlog/internal/simclock"
+	"flexlog/internal/ssd"
+)
+
+func TestPayloadDeterministic(t *testing.T) {
+	a := Payload(128, 7)
+	b := Payload(128, 7)
+	c := Payload(128, 8)
+	if len(a) != 128 {
+		t.Fatalf("len = %d", len(a))
+	}
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different payloads")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical payloads")
+	}
+}
+
+func TestMixRatio(t *testing.T) {
+	m := NewMix(75, 1)
+	reads := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if m.NextIsRead() {
+			reads++
+		}
+	}
+	pct := 100 * float64(reads) / n
+	if pct < 72 || pct > 78 {
+		t.Fatalf("read ratio = %.1f%%, want ~75%%", pct)
+	}
+	if NewMix(0, 1).NextIsRead() {
+		t.Fatal("0%% mix produced a read")
+	}
+	m100 := NewMix(100, 1)
+	if !m100.NextIsRead() {
+		t.Fatal("100%% mix produced a write")
+	}
+}
+
+func TestUniformKeysInRange(t *testing.T) {
+	u := NewUniformKeys(100, 1)
+	seen := make(map[int]bool)
+	for i := 0; i < 5000; i++ {
+		k := u.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform keys covered only %d/100", len(seen))
+	}
+	if string(Key(1)) != "key-000000000001" {
+		t.Fatalf("key format: %q", Key(1))
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	res := RunClosedLoop(4, 50*time.Millisecond, func(w, i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if res.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	if res.OpsPerSec <= 0 {
+		t.Fatal("no throughput computed")
+	}
+	// 4 workers × ~50 iterations ≈ 200; generous bounds.
+	if res.Ops > 400 {
+		t.Fatalf("implausible op count %d", res.Ops)
+	}
+}
+
+func TestRunClosedLoopCountsErrors(t *testing.T) {
+	res := RunClosedLoop(1, 20*time.Millisecond, func(w, i int) error {
+		time.Sleep(time.Millisecond)
+		if i%2 == 0 {
+			return errFake
+		}
+		return nil
+	})
+	if res.Errors == 0 {
+		t.Fatal("errors not counted")
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestProfileVideoShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("compute/storage split distorted by the race detector")
+	}
+	prev := simclock.Enable(true)
+	defer simclock.Enable(prev)
+	dev := ssd.New(ssd.NVMe())
+	rep, err := ProfileVideo(dev, 20, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := rep.StoragePercent()
+	// Table 1 reports ≈41% for video; the synthetic pipeline must land in
+	// the same regime (storage is a major but not dominant cost).
+	if pct < 15 || pct > 75 {
+		t.Fatalf("video storage share = %.1f%%, outside the Table-1 regime", pct)
+	}
+	for _, class := range []string{"open", "read", "write", "fstat", "close"} {
+		if rep.PerClass[class] <= 0 {
+			t.Errorf("class %q unaccounted", class)
+		}
+	}
+	if rep.ClassPercent("read") <= rep.ClassPercent("fstat") {
+		t.Error("reads should dominate fstat time")
+	}
+}
+
+func TestProfileGzipShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("compute/storage split distorted by the race detector")
+	}
+	prev := simclock.Enable(true)
+	defer simclock.Enable(prev)
+	dev := ssd.New(ssd.NVMe())
+	rep, err := ProfileGzip(dev, 20, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := rep.StoragePercent()
+	if pct < 15 || pct > 80 {
+		t.Fatalf("gzip storage share = %.1f%%, outside the Table-1 regime", pct)
+	}
+	// Gzip writes compressed output: write time must be nonzero.
+	if rep.PerClass["write"] <= 0 {
+		t.Error("write time unaccounted")
+	}
+}
+
+func TestSweepsNonEmpty(t *testing.T) {
+	if len(RecordSizes) == 0 || len(BlockSizes) == 0 || len(ThreadCounts) == 0 || len(ReadPercents) == 0 {
+		t.Fatal("sweep tables empty")
+	}
+}
