@@ -1,0 +1,25 @@
+# Tier-1 verification recipe. `make verify` is what CI (and the roadmap's
+# acceptance gate) runs: build, full test suite, vet, and a race-detector
+# pass over the concurrency-heavy packages (client batching layer and
+# replica protocol).
+
+GO ?= go
+
+.PHONY: verify build test vet race bench
+
+verify: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/replica/...
+
+bench:
+	$(GO) run ./cmd/flexlog-bench -quick all

@@ -29,6 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig1", "fig4lat", "fig4thr", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11",
 		"ablate-batch", "ablate-cache", "ablate-readhold",
+		"ablate-clientbatch",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -266,6 +267,41 @@ func TestAblations(t *testing.T) {
 	}
 	if s5 < s0 {
 		t.Errorf("read-hold did not improve success: 0s=%.0f%% 5ms=%.0f%%", s0, s5)
+	}
+}
+
+func TestAblateClientBatchShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("measurement-based shape test skipped under the race detector")
+	}
+	rep := runExperiment(t, "ablate-clientbatch")
+	thrOff, ok1 := rep.Value("Append throughput", "off")
+	thrOn, ok2 := rep.Value("Append throughput", "on")
+	if !ok1 || !ok2 || thrOff <= 0 {
+		t.Fatalf("missing throughput values: off=%v on=%v", thrOff, thrOn)
+	}
+	// ISSUE acceptance: batching buys >= 2x modeled records/sec under
+	// concurrent callers (the leaf sequencer's three OrderReqs per append
+	// amortize across the batch).
+	if thrOn < 2*thrOff {
+		t.Errorf("batching gain too small: on=%.0fk off=%.0fk (<2x)", thrOn, thrOff)
+	}
+	size, ok := rep.Value("Mean batch size", "on")
+	if !ok || size < 2 {
+		t.Errorf("mean batch size %.1f, want >= 2 under concurrent callers", size)
+	}
+	latOff, ok1 := rep.Value("1-client mean latency", "off")
+	latOn, ok2 := rep.Value("1-client mean latency", "on")
+	if !ok1 || !ok2 || latOff <= 0 {
+		t.Fatalf("missing latency values: off=%v on=%v", latOff, latOn)
+	}
+	// A lone closed-loop client pays at most the linger (100 µs) on top of
+	// the unbatched latency; allow scheduling slack on loaded CI machines.
+	linger := clientBatchTuning().MaxBatchDelay.Seconds() * 1e6
+	const slackUsec = 1000
+	if latOn > latOff+linger+slackUsec {
+		t.Errorf("single-client latency regressed beyond the linger: on=%.0fµs off=%.0fµs linger=%.0fµs",
+			latOn, latOff, linger)
 	}
 }
 

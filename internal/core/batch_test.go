@@ -1,0 +1,464 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"flexlog/internal/types"
+)
+
+// batchedClient creates a client with batching enabled on cl.
+func batchedClient(t *testing.T, cl *Cluster, opts ...Option) *Client {
+	t.Helper()
+	opts = append([]Option{WithBatching(DefaultBatchConfig())}, opts...)
+	c, err := cl.NewClient(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBatchedAppendLinearizable drives many concurrent AppendCtx calls
+// through the batching layer and checks the core guarantees survive the
+// coalescing: every caller gets a distinct SN, and every SN reads back the
+// exact payload that was appended (i.e. the per-caller demux from the
+// batch's last SN is correct). Run under -race this also exercises the
+// batcher's synchronization.
+func TestBatchedAppendLinearizable(t *testing.T) {
+	cl, err := SimpleCluster(TestClusterConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	c := batchedClient(t, cl, WithBatching(BatchConfig{
+		MaxBatchRecords: 16,
+		MaxBatchDelay:   200 * time.Microsecond,
+		MaxInFlight:     4,
+	}))
+
+	const (
+		goroutines = 8
+		perG       = 30
+	)
+	type res struct {
+		sn   types.SN
+		data []byte
+	}
+	results := make(chan res, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				data := fmt.Appendf(nil, "g%d-%d", g, i)
+				sn, err := c.AppendCtx(context.Background(), [][]byte{data}, types.MasterColor)
+				if err != nil {
+					t.Errorf("append g%d-%d: %v", g, i, err)
+					return
+				}
+				results <- res{sn, data}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(results)
+
+	seen := make(map[types.SN][]byte)
+	for r := range results {
+		if prev, dup := seen[r.sn]; dup {
+			t.Fatalf("SN %v assigned to both %q and %q", r.sn, prev, r.data)
+		}
+		seen[r.sn] = r.data
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("got %d distinct SNs, want %d", len(seen), goroutines*perG)
+	}
+	for sn, want := range seen {
+		got, err := c.Read(sn, types.MasterColor)
+		if err != nil {
+			t.Fatalf("read %v: %v", sn, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %v = %q, appended %q", sn, got, want)
+		}
+	}
+	if got := c.Metrics().BatchedAppends.Count(); got != goroutines*perG {
+		t.Errorf("BatchedAppends = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestBatchLingerFlush checks the linger timer: a lone append under a
+// generous record limit must not wait for company forever — it flushes as
+// one single-set batch once MaxBatchDelay elapses.
+func TestBatchLingerFlush(t *testing.T) {
+	cl, err := SimpleCluster(TestClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	const linger = 10 * time.Millisecond
+	c := batchedClient(t, cl, WithBatching(BatchConfig{
+		MaxBatchRecords: 1 << 20,
+		MaxBatchBytes:   1 << 30,
+		MaxBatchDelay:   linger,
+		MaxInFlight:     1,
+	}))
+
+	start := time.Now()
+	sn, err := c.AppendCtx(context.Background(), [][]byte{[]byte("lonely")}, types.MasterColor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if !sn.Valid() {
+		t.Fatalf("invalid SN %v", sn)
+	}
+	// The single record must have waited out (most of) the linger — if it
+	// flushed immediately the timer is not being honored. Allow half to
+	// absorb coarse timers.
+	if elapsed < linger/2 {
+		t.Errorf("append completed in %v, expected to linger ~%v", elapsed, linger)
+	}
+	if got := c.Metrics().Batches.Count(); got != 1 {
+		t.Errorf("Batches = %d, want 1", got)
+	}
+	if got := c.Metrics().BatchRecords.MaxValue(); got != 1 {
+		t.Errorf("batch carried %d records, want 1", got)
+	}
+}
+
+// TestBatchSizeCutoff checks the size bounds: a full batch flushes
+// immediately without waiting out an (here: very long) linger, and the
+// byte bound keeps any one batch under MaxBatchBytes when the queued sets
+// allow a split.
+func TestBatchSizeCutoff(t *testing.T) {
+	cl, err := SimpleCluster(TestClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	const maxBytes = 4 << 10
+	c := batchedClient(t, cl, WithBatching(BatchConfig{
+		MaxBatchRecords: 4,
+		MaxBatchBytes:   maxBytes,
+		MaxBatchDelay:   time.Second, // must never be waited out
+		MaxInFlight:     4,
+	}))
+
+	// Record-count cutoff: 4 records fill the batch; the append must
+	// complete far sooner than the 1 s linger.
+	start := time.Now()
+	if _, err := c.AppendCtx(context.Background(),
+		[][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}, types.MasterColor); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("full batch took %v, expected immediate flush", elapsed)
+	}
+
+	// Byte cutoff: one oversized set still flushes immediately (it is
+	// never split), and the size histogram records it.
+	big := bytes.Repeat([]byte("x"), maxBytes+1)
+	start = time.Now()
+	if _, err := c.AppendCtx(context.Background(), [][]byte{big}, types.MasterColor); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("oversized batch took %v, expected immediate flush", elapsed)
+	}
+	if got := c.Metrics().BatchBytes.MaxValue(); got < maxBytes {
+		t.Errorf("BatchBytes max = %d, want >= %d", got, maxBytes)
+	}
+
+	// Concurrent small sets must split into multiple batches rather than
+	// exceed the record bound: 8 callers x 2 records with MaxBatchRecords=4
+	// needs at least 4 batches.
+	before := c.Metrics().Batches.Count()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data := fmt.Appendf(nil, "s%d", g)
+			if _, err := c.AppendCtx(context.Background(), [][]byte{data, data}, types.MasterColor); err != nil {
+				t.Errorf("append %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Metrics().Batches.Count() - before; got < 4 {
+		t.Errorf("16 records in %d batches, record bound 4 requires >= 4", got)
+	}
+	if got := c.Metrics().BatchRecords.MaxValue(); got > 4+1 { // +1: one oversized single set is legal
+		// Only multi-set batches are bounded; the earlier oversized set was
+		// a single record, so any max above the bound means a bad cut.
+		t.Errorf("a batch carried %d records, bound is 4", got)
+	}
+}
+
+// TestBatchedAppendCtxCancel checks that a context deadline releases the
+// caller promptly even while its batch lingers: Wait returns the context
+// error wrapped in *OpError.
+func TestBatchedAppendCtxCancel(t *testing.T) {
+	cl, err := SimpleCluster(TestClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	c := batchedClient(t, cl, WithBatching(BatchConfig{
+		MaxBatchRecords: 1 << 20,
+		MaxBatchDelay:   time.Second, // far beyond the ctx deadline
+		MaxInFlight:     1,
+	}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.AppendCtx(ctx, [][]byte{[]byte("doomed")}, types.MasterColor)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Op != "append" {
+		t.Fatalf("err = %#v, want *OpError{Op: append}", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("cancellation took %v, want ~20ms", elapsed)
+	}
+}
+
+// TestAsyncAppendFutures submits a burst of AsyncAppends and collects the
+// futures: all must resolve with distinct SNs and the records must read
+// back. Also covers the immediate-failure future for empty appends.
+func TestAsyncAppendFutures(t *testing.T) {
+	cl, err := SimpleCluster(TestClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	c := batchedClient(t, cl)
+
+	const n = 20
+	futs := make([]*AppendFuture, n)
+	payload := func(i int) []byte { return fmt.Appendf(nil, "async-%d", i) }
+	for i := range futs {
+		futs[i] = c.AsyncAppend([][]byte{payload(i)}, types.MasterColor)
+	}
+	seen := make(map[types.SN]bool)
+	for i, f := range futs {
+		sn, err := f.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if seen[sn] {
+			t.Fatalf("future %d: duplicate SN %v", i, sn)
+		}
+		seen[sn] = true
+		got, err := c.Read(sn, types.MasterColor)
+		if err != nil {
+			t.Fatalf("read %v: %v", sn, err)
+		}
+		if !bytes.Equal(got, payload(i)) {
+			t.Fatalf("future %d: read %q, appended %q", i, got, payload(i))
+		}
+	}
+
+	f := c.AsyncAppend(nil, types.MasterColor)
+	select {
+	case <-f.Done():
+	default:
+		t.Fatal("empty AsyncAppend future not immediately resolved")
+	}
+	if _, err := f.Wait(context.Background()); err == nil {
+		t.Fatal("empty AsyncAppend succeeded")
+	}
+}
+
+// TestBatchShardCrashFailsEveryCaller is the chaos case: a shard crashes
+// mid-batch and every coalesced caller must receive its own error — a
+// typed *OpError wrapping ErrTimeout — rather than hanging or getting a
+// neighbor's result.
+func TestBatchShardCrashFailsEveryCaller(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	cl, err := SimpleCluster(TestClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	c := batchedClient(t, cl,
+		WithTimeout(300*time.Millisecond),
+		WithBatching(BatchConfig{
+			MaxBatchRecords: 64,
+			MaxBatchDelay:   5 * time.Millisecond,
+			MaxInFlight:     2,
+		}))
+
+	// Warm up: prove the path works before the fault.
+	if _, err := c.AppendCtx(context.Background(), [][]byte{[]byte("warmup")}, types.MasterColor); err != nil {
+		t.Fatalf("warmup append: %v", err)
+	}
+
+	// Take the whole shard down: crash and isolate every replica so no
+	// batch can commit or be acked.
+	shards := cl.Topology().ShardsInRegion(types.MasterColor)
+	if len(shards) != 1 {
+		t.Fatalf("want 1 shard, have %d", len(shards))
+	}
+	for _, r := range cl.Replicas(shards[0].ID) {
+		r.Crash()
+		cl.Network().Isolate(r.ID())
+	}
+
+	const callers = 8
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data := fmt.Appendf(nil, "doomed-%d", g)
+			_, err := c.AppendCtx(context.Background(), [][]byte{data}, types.MasterColor)
+			errs <- err
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+
+	got := 0
+	for err := range errs {
+		got++
+		if err == nil {
+			t.Fatal("append against a fully crashed shard succeeded")
+		}
+		var oe *OpError
+		if !errors.As(err, &oe) {
+			t.Fatalf("err %v is not a *OpError", err)
+		}
+		if oe.Op != "append" || oe.Color != types.MasterColor {
+			t.Fatalf("OpError = %+v, want Op=append Color=%v", oe, types.MasterColor)
+		}
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("err %v does not wrap ErrTimeout", err)
+		}
+	}
+	if got != callers {
+		t.Fatalf("%d callers reported, want %d", got, callers)
+	}
+}
+
+// TestBatchedClientClose checks shutdown: queued batched appends fail with
+// ErrClosed instead of hanging.
+func TestBatchedClientClose(t *testing.T) {
+	cl, err := SimpleCluster(TestClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	c := batchedClient(t, cl, WithBatching(BatchConfig{
+		MaxBatchRecords: 1 << 20,
+		MaxBatchDelay:   time.Minute, // queue until Close
+		MaxInFlight:     1,
+	}))
+
+	fut := c.AsyncAppend([][]byte{[]byte("stranded")}, types.MasterColor)
+	time.Sleep(5 * time.Millisecond) // let the batcher pick the set up
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := fut.Wait(waitCtx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if _, err := c.AppendCtx(context.Background(), [][]byte{[]byte("late")}, types.MasterColor); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestConnectOptions covers the v2 constructor: auto-allocated ids, option
+// application, and interoperability with cluster-created clients.
+func TestConnectOptions(t *testing.T) {
+	cl, err := SimpleCluster(TestClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+
+	c1, err := Connect(cl.Topology(), cl.Network(),
+		WithTimeout(2*time.Second),
+		WithRetryInterval(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c1.Close() })
+	c2, err := Connect(cl.Topology(), cl.Network(), WithFID(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	if c2.FID() != 777 {
+		t.Fatalf("FID = %d, want 777", c2.FID())
+	}
+	if c1.cfg.ID == c2.cfg.ID || c1.cfg.ID == 0 {
+		t.Fatalf("auto node ids not distinct: %v vs %v", c1.cfg.ID, c2.cfg.ID)
+	}
+	if c1.cfg.Timeout != 2*time.Second || c1.cfg.RetryInterval != 20*time.Millisecond {
+		t.Fatalf("options not applied: %+v", c1.cfg)
+	}
+
+	sn, err := c1.Append([][]byte{[]byte("via-connect")}, types.MasterColor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Read(sn, types.MasterColor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("via-connect")) {
+		t.Fatalf("read %q", got)
+	}
+}
+
+// TestOpErrorShape pins down the typed-error contract on the unbatched
+// paths too: ErrNotFound from Read and context cancellation from TrimCtx
+// both surface as *OpError.
+func TestOpErrorShape(t *testing.T) {
+	cl, err := SimpleCluster(TestClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = c.Read(types.MakeSN(1, 999), types.MasterColor)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read of absent SN: %v, want ErrNotFound", err)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Op != "read" {
+		t.Fatalf("read error %#v, want *OpError{Op: read}", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.AppendCtx(ctx, [][]byte{[]byte("x")}, types.MasterColor); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled append: %v, want context.Canceled", err)
+	}
+	if _, _, err := c.TrimCtx(ctx, types.MakeSN(1, 1), types.MasterColor); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled trim: %v, want context.Canceled", err)
+	}
+	if err := c.MultiAppendCtx(ctx, [][][]byte{{[]byte("x")}}, []types.ColorID{types.MasterColor}, types.MasterColor); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled multi-append: %v, want context.Canceled", err)
+	}
+}

@@ -3,6 +3,24 @@
 // atomic multi-color append of §6.4, and the Cluster harness that deploys a
 // complete FlexLog — sequencer tree, shards, replicas — either in-process
 // (with the calibrated latency models) or over TCP.
+//
+// # The v2 client API
+//
+// The hot-path operations have context-first variants — AppendCtx, ReadCtx,
+// TrimCtx, MultiAppendCtx — that honor cancellation and deadlines; the
+// legacy Table-2 methods are thin wrappers over them with a background
+// context. AsyncAppend returns an AppendFuture for fire-and-collect
+// pipelining. Errors are typed: every operation returns a *OpError wrapping
+// the sentinel causes (ErrNotFound, ErrTimeout, ErrClosed, context errors),
+// so callers use errors.Is / errors.As.
+//
+// Clients are built with functional options (see Connect and
+// Cluster.NewClient). The defaults are: RetryInterval 50ms, Timeout 10s,
+// shard-selection seed derived from the FID, and batching disabled. With
+// WithBatching, concurrent appends to one color are coalesced per shard
+// into single ordering requests + data RPCs, bounded by
+// BatchConfig.{MaxBatchRecords,MaxBatchBytes,MaxBatchDelay}, with
+// MaxInFlight batches pipelined per shard (see batcher.go).
 package core
 
 import (
@@ -43,6 +61,9 @@ type ClientConfig struct {
 	Timeout time.Duration
 	// Seed seeds shard selection; 0 derives one from the FID.
 	Seed int64
+	// Batch configures client-side append batching & pipelining; the zero
+	// value disables it (see WithBatching).
+	Batch BatchConfig
 }
 
 // Client is a FlexLog handle used by one serverless function. It is safe
@@ -56,14 +77,18 @@ type Client struct {
 	counter atomic.Uint32 // token counter (Alg. 1 line 3)
 	reqSeq  atomic.Uint64 // correlation ids for read/subscribe/trim/multi
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	appends map[types.Token]*appendWait
-	reads   map[uint64]*readWait
-	subs    map[uint64]*subWait
-	trims   map[uint64]*trimWaitC
-	multis  map[uint64]*multiWait
-	closed  bool
+	met      *ClientMetrics
+	closedCh chan struct{} // closed by Close; unblocks batchers and waiters
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	appends  map[types.Token]*appendWait
+	reads    map[uint64]*readWait
+	subs     map[uint64]*subWait
+	trims    map[uint64]*trimWaitC
+	multis   map[uint64]*multiWait
+	batchers map[batcherKey]*shardBatcher
+	closed   bool
 
 	// place is the client-side placement cache: SNs this client appended
 	// (or read) mapped to the shard storing them. A hit lets Read query a
@@ -121,10 +146,11 @@ type multiWait struct {
 	closed bool
 }
 
-// NewClient attaches a client to the in-process network.
-func NewClient(cfg ClientConfig, net *transport.Network) (*Client, error) {
-	c := newClient(cfg)
-	ep, err := net.Register(cfg.ID, c.handle)
+// NewClient attaches a client to the in-process network. Options, if any,
+// are applied on top of cfg.
+func NewClient(cfg ClientConfig, net *transport.Network, opts ...Option) (*Client, error) {
+	c := newClient(cfg, opts)
+	ep, err := net.Register(c.cfg.ID, c.handle)
 	if err != nil {
 		return nil, err
 	}
@@ -133,8 +159,8 @@ func NewClient(cfg ClientConfig, net *transport.Network) (*Client, error) {
 }
 
 // NewClientWithEndpoint attaches a client over a custom endpoint (TCP).
-func NewClientWithEndpoint(cfg ClientConfig, attach func(h transport.Handler) (transport.Endpoint, error)) (*Client, error) {
-	c := newClient(cfg)
+func NewClientWithEndpoint(cfg ClientConfig, attach func(h transport.Handler) (transport.Endpoint, error), opts ...Option) (*Client, error) {
+	c := newClient(cfg, opts)
 	ep, err := attach(c.handle)
 	if err != nil {
 		return nil, err
@@ -143,27 +169,36 @@ func NewClientWithEndpoint(cfg ClientConfig, attach func(h transport.Handler) (t
 	return c, nil
 }
 
-func newClient(cfg ClientConfig) *Client {
+func newClient(cfg ClientConfig, opts []Option) *Client {
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if cfg.RetryInterval <= 0 {
 		cfg.RetryInterval = 50 * time.Millisecond
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
+	if cfg.Batch.enabled() {
+		cfg.Batch = cfg.Batch.withDefaults()
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = int64(cfg.FID)*2654435761 + 1
 	}
 	return &Client{
-		cfg:     cfg,
-		topo:    cfg.Topo,
-		rng:     rand.New(rand.NewSource(seed)),
-		appends: make(map[types.Token]*appendWait),
-		reads:   make(map[uint64]*readWait),
-		subs:    make(map[uint64]*subWait),
-		trims:   make(map[uint64]*trimWaitC),
-		multis:  make(map[uint64]*multiWait),
-		place:   make(map[placeKey]types.ShardID),
+		cfg:      cfg,
+		topo:     cfg.Topo,
+		met:      newClientMetrics(),
+		closedCh: make(chan struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
+		appends:  make(map[types.Token]*appendWait),
+		reads:    make(map[uint64]*readWait),
+		subs:     make(map[uint64]*subWait),
+		trims:    make(map[uint64]*trimWaitC),
+		multis:   make(map[uint64]*multiWait),
+		batchers: make(map[batcherKey]*shardBatcher),
+		place:    make(map[placeKey]types.ShardID),
 	}
 }
 
@@ -196,11 +231,16 @@ func (c *Client) FID() uint32 { return c.cfg.FID }
 // SetColorAdder wires the provisioning backend used by AddColor.
 func (c *Client) SetColorAdder(a ColorAdder) { c.adder = a }
 
-// Close detaches the client.
+// Close detaches the client. Queued and in-flight batched appends fail
+// with ErrClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	already := c.closed
 	c.closed = true
 	c.mu.Unlock()
+	if !already {
+		close(c.closedCh)
+	}
 	return c.ep.Close()
 }
 
@@ -286,30 +326,73 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 // Append appends records to the log of color c and returns the SN of the
 // last record (Table 2; Alg. 1 client role). The call completes only after
 // every replica of the chosen shard committed and acknowledged the batch.
+// Legacy wrapper over AppendCtx.
 func (c *Client) Append(records [][]byte, color types.ColorID) (types.SN, error) {
+	return c.AppendCtx(context.Background(), records, color)
+}
+
+// AppendCtx is the context-first append: it honors cancellation and
+// deadlines on top of the client's configured Timeout. With batching
+// enabled the call is coalesced with concurrent appends to the same color
+// (see batcher.go); cancellation then abandons the wait, not the batch —
+// the records may still commit.
+func (c *Client) AppendCtx(ctx context.Context, records [][]byte, color types.ColorID) (types.SN, error) {
 	if len(records) == 0 {
-		return types.InvalidSN, fmt.Errorf("flexlog: empty append")
+		return types.InvalidSN, opError("append", color, types.InvalidSN, fmt.Errorf("empty append"))
+	}
+	if c.cfg.Batch.enabled() {
+		fut, err := c.enqueueAppend(records, color)
+		if err != nil {
+			return types.InvalidSN, opError("append", color, types.InvalidSN, err)
+		}
+		return fut.Wait(ctx)
 	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return types.InvalidSN, ErrClosed
+		return types.InvalidSN, opError("append", color, types.InvalidSN, ErrClosed)
 	}
 	shard, err := c.topo.RandomShard(color, c.rng)
 	c.mu.Unlock()
 	if err != nil {
-		return types.InvalidSN, err
+		return types.InvalidSN, opError("append", color, types.InvalidSN, err)
 	}
-	sn, _, err := c.appendToShard(records, color, shard)
-	if err == nil && sn.Valid() {
+	sn, _, err := c.appendToShard(ctx, records, color, shard)
+	if err != nil {
+		return types.InvalidSN, opError("append", color, types.InvalidSN, err)
+	}
+	if sn.Valid() {
 		c.rememberPlacement(color, sn, len(records), shard.ID)
 	}
-	return sn, err
+	return sn, nil
+}
+
+// AsyncAppend submits an append and returns immediately with a future for
+// its SN. With batching enabled the future resolves when the record's
+// batch commits; without, a goroutine drives a plain append. Futures of
+// failed validation resolve immediately.
+func (c *Client) AsyncAppend(records [][]byte, color types.ColorID) *AppendFuture {
+	if len(records) == 0 {
+		return failedFuture(color, fmt.Errorf("empty append"))
+	}
+	if c.cfg.Batch.enabled() {
+		fut, err := c.enqueueAppend(records, color)
+		if err != nil {
+			return failedFuture(color, err)
+		}
+		return fut
+	}
+	fut := newAppendFuture(color)
+	go func() {
+		sn, err := c.AppendCtx(context.Background(), records, color)
+		fut.complete(sn, err)
+	}()
+	return fut
 }
 
 // appendToShard runs the append protocol against a specific shard and
 // returns the assigned SN together with the token used.
-func (c *Client) appendToShard(records [][]byte, color types.ColorID, shard topology.ShardInfo) (types.SN, types.Token, error) {
+func (c *Client) appendToShard(ctx context.Context, records [][]byte, color types.ColorID, shard topology.ShardInfo) (types.SN, types.Token, error) {
 	token := c.nextToken()
 	w := &appendWait{needed: make(map[types.NodeID]bool, len(shard.Replicas)), done: make(chan struct{})}
 	for _, id := range shard.Replicas {
@@ -331,6 +414,8 @@ func (c *Client) appendToShard(records [][]byte, color types.ColorID, shard topo
 		select {
 		case <-w.done:
 			return w.sn, token, nil
+		case <-ctx.Done():
+			return types.InvalidSN, token, ctx.Err()
 		case <-time.After(c.cfg.RetryInterval):
 			if time.Now().After(deadline) {
 				return types.InvalidSN, token, fmt.Errorf("%w: append %v to %v", ErrTimeout, token, color)
@@ -342,32 +427,39 @@ func (c *Client) appendToShard(records [][]byte, color types.ColorID, shard topo
 // Read returns the record with the given SN from the c-colored log, or
 // ErrNotFound for ⊥ (Table 2; §6.1). One replica of every shard of the
 // color is consulted; only the shard storing the record answers non-⊥.
+// Legacy wrapper over ReadCtx.
 func (c *Client) Read(sn types.SN, color types.ColorID) ([]byte, error) {
+	return c.ReadCtx(context.Background(), sn, color)
+}
+
+// ReadCtx is the context-first read: it honors cancellation and deadlines
+// between (and within) retry rounds.
+func (c *Client) ReadCtx(ctx context.Context, sn types.SN, color types.ColorID) ([]byte, error) {
 	shards := c.topo.ShardsInRegion(color)
 	if len(shards) == 0 {
-		return nil, fmt.Errorf("flexlog: no shards for %v", color)
+		return nil, opError("read", color, sn, fmt.Errorf("no shards"))
 	}
 	// Placement fast path: if the client knows which shard stores the SN
 	// (it appended it), ask a single replica of that shard only. A miss
 	// (stale hint, trimmed record) falls back to the full protocol.
 	if shardID, ok := c.placement(color, sn); ok {
 		if sh, err := c.topo.Shard(shardID); err == nil {
-			if data, err := c.readOnce(sn, color, []topology.ShardInfo{sh}); err == nil {
+			if data, err := c.readOnce(ctx, sn, color, []topology.ShardInfo{sh}); err == nil {
 				return data, nil
 			}
 		}
 	}
 	deadline := time.Now().Add(c.cfg.Timeout)
 	for {
-		data, err := c.readOnce(sn, color, shards)
+		data, err := c.readOnce(ctx, sn, color, shards)
 		if err == nil {
 			return data, nil
 		}
-		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) {
-			return nil, err
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) || ctx.Err() != nil {
+			return nil, opError("read", color, sn, err)
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("%w: read %v of %v", ErrTimeout, sn, color)
+			return nil, opError("read", color, sn, fmt.Errorf("%w: read %v of %v", ErrTimeout, sn, color))
 		}
 		// Retry against (probably) different replicas — the paper's §6.3
 		// "forces the FaaS application to re-execute the read".
@@ -377,7 +469,7 @@ func (c *Client) Read(sn types.SN, color types.ColorID) ([]byte, error) {
 // readOnce runs one round of the read protocol against one replica of each
 // given shard. It returns ErrNotFound when every shard answered ⊥ and
 // ErrTimeout when some shard did not answer within the retry interval.
-func (c *Client) readOnce(sn types.SN, color types.ColorID, shards []topology.ShardInfo) ([]byte, error) {
+func (c *Client) readOnce(ctx context.Context, sn types.SN, color types.ColorID, shards []topology.ShardInfo) ([]byte, error) {
 	id := c.reqSeq.Add(1)
 	w := &readWait{waiting: len(shards), done: make(chan struct{})}
 	c.mu.Lock()
@@ -397,8 +489,11 @@ func (c *Client) readOnce(sn types.SN, color types.ColorID, shards []topology.Sh
 		c.ep.Send(t, req)
 	}
 	var timedOut bool
+	var ctxErr error
 	select {
 	case <-w.done:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
 	case <-time.After(c.cfg.RetryInterval):
 		timedOut = true
 	}
@@ -412,6 +507,9 @@ func (c *Client) readOnce(sn types.SN, color types.ColorID, shards []topology.Sh
 	c.mu.Unlock()
 	if found {
 		return data, nil
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	if timedOut {
 		return nil, fmt.Errorf("%w: read round", ErrTimeout)
@@ -517,18 +615,25 @@ func (c *Client) SubscribeChan(ctx context.Context, color types.ColorID, poll ti
 }
 
 // Trim garbage-collects the log of color c up to and including sn and
-// returns the remaining [head, tail] bounds (Table 2; §6.2).
+// returns the remaining [head, tail] bounds (Table 2; §6.2). Legacy
+// wrapper over TrimCtx.
 func (c *Client) Trim(sn types.SN, color types.ColorID) (head, tail types.SN, err error) {
+	return c.TrimCtx(context.Background(), sn, color)
+}
+
+// TrimCtx is the context-first trim: it honors cancellation and deadlines
+// while waiting for the region's replicas to acknowledge.
+func (c *Client) TrimCtx(ctx context.Context, sn types.SN, color types.ColorID) (head, tail types.SN, err error) {
 	replicas := c.topo.ReplicasInRegion(color)
 	if len(replicas) == 0 {
-		return 0, 0, fmt.Errorf("flexlog: no replicas for %v", color)
+		return 0, 0, opError("trim", color, sn, fmt.Errorf("no replicas"))
 	}
 	id := c.reqSeq.Add(1)
 	w := &trimWaitC{waiting: len(replicas), done: make(chan struct{})}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return 0, 0, ErrClosed
+		return 0, 0, opError("trim", color, sn, ErrClosed)
 	}
 	c.trims[id] = w
 	c.mu.Unlock()
@@ -545,9 +650,11 @@ func (c *Client) Trim(sn types.SN, color types.ColorID) (head, tail types.SN, er
 		select {
 		case <-w.done:
 			return w.head, w.tail, nil
+		case <-ctx.Done():
+			return 0, 0, opError("trim", color, sn, ctx.Err())
 		case <-time.After(c.cfg.RetryInterval):
 			if time.Now().After(deadline) {
-				return 0, 0, fmt.Errorf("%w: trim %v of %v", ErrTimeout, sn, color)
+				return 0, 0, opError("trim", color, sn, fmt.Errorf("%w: trim %v of %v", ErrTimeout, sn, color))
 			}
 		}
 	}
@@ -565,28 +672,36 @@ func (c *Client) AddColor(color, parent types.ColorID) error {
 // MultiAppend atomically appends each record set to its corresponding
 // color (Alg. 2, §6.4): all sets become visible or none does. The broker
 // ("special") color must be known to all participants a priori; the master
-// region works by default.
+// region works by default. Legacy wrapper over MultiAppendCtx.
 func (c *Client) MultiAppend(sets [][][]byte, colors []types.ColorID, special types.ColorID) error {
+	return c.MultiAppendCtx(context.Background(), sets, colors, special)
+}
+
+// MultiAppendCtx is the context-first atomic multi-color append: it honors
+// cancellation and deadlines across both the staging and end-marker phases.
+func (c *Client) MultiAppendCtx(ctx context.Context, sets [][][]byte, colors []types.ColorID, special types.ColorID) error {
 	if len(sets) != len(colors) || len(sets) == 0 {
-		return fmt.Errorf("flexlog: %d record sets vs %d colors", len(sets), len(colors))
+		return opError("multi-append", special, types.InvalidSN,
+			fmt.Errorf("%d record sets vs %d colors", len(sets), len(colors)))
 	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return ErrClosed
+		return opError("multi-append", special, types.InvalidSN, ErrClosed)
 	}
 	shard, err := c.topo.RandomShard(special, c.rng)
 	c.mu.Unlock()
 	if err != nil {
-		return err
+		return opError("multi-append", special, types.InvalidSN, err)
 	}
 	// Phase 1: stage every set on the broker shard (Alg. 2 lines 3–4).
 	tokens := make([]types.Token, len(sets))
 	for i, records := range sets {
 		staged := replica.EncodeStaged(colors[i], c.cfg.FID, records)
-		_, token, err := c.appendToShard([][]byte{staged}, special, shard)
+		_, token, err := c.appendToShard(ctx, [][]byte{staged}, special, shard)
 		if err != nil {
-			return fmt.Errorf("flexlog: staging set %d: %w", i, err)
+			return opError("multi-append", special, types.InvalidSN,
+				fmt.Errorf("staging set %d: %w", i, err))
 		}
 		tokens[i] = token
 	}
@@ -610,9 +725,11 @@ func (c *Client) MultiAppend(sets [][][]byte, colors []types.ColorID, special ty
 		select {
 		case <-w.done:
 			return nil
+		case <-ctx.Done():
+			return opError("multi-append", special, types.InvalidSN, ctx.Err())
 		case <-time.After(c.cfg.RetryInterval):
 			if time.Now().After(deadline) {
-				return fmt.Errorf("%w: multi-append", ErrTimeout)
+				return opError("multi-append", special, types.InvalidSN, fmt.Errorf("%w: multi-append", ErrTimeout))
 			}
 		}
 	}

@@ -44,6 +44,10 @@ type ClusterConfig struct {
 	ReadHoldTimeout time.Duration
 	// ClientTimeout bounds client operations.
 	ClientTimeout time.Duration
+	// ClientBatch, when non-zero, enables the append batching & pipelining
+	// layer on every client the cluster creates (overridable per client
+	// with WithBatching/WithoutBatching options).
+	ClientBatch BatchConfig
 }
 
 // TestClusterConfig returns a latency-free configuration with fast failure
@@ -228,8 +232,10 @@ func (cl *Cluster) AddColor(color, parent types.ColorID) error {
 	return err
 }
 
-// NewClient creates a client handle with a fresh FID.
-func (cl *Cluster) NewClient() (*Client, error) {
+// NewClient creates a client handle with a fresh FID. Options are applied
+// on top of the cluster defaults (ClientTimeout, RetryTimeout,
+// ClientBatch).
+func (cl *Cluster) NewClient(opts ...Option) (*Client, error) {
 	cl.mu.Lock()
 	id := cl.nextCli
 	cl.nextCli++
@@ -240,11 +246,12 @@ func (cl *Cluster) NewClient() (*Client, error) {
 		ID:      id,
 		Topo:    cl.topo,
 		Timeout: cl.cfg.ClientTimeout,
+		Batch:   cl.cfg.ClientBatch,
 	}
 	if cl.cfg.RetryTimeout > 0 {
 		ccfg.RetryInterval = cl.cfg.RetryTimeout
 	}
-	c, err := NewClient(ccfg, cl.net)
+	c, err := NewClient(ccfg, cl.net, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"flexlog/internal/topology"
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+// BatchConfig tunes the client-side append batching & pipelining layer.
+// The zero value disables batching (every Append is its own round trip,
+// the seed behaviour); enable it with WithBatching(DefaultBatchConfig())
+// or a custom configuration. Zero fields of an otherwise non-zero config
+// are filled from DefaultBatchConfig.
+type BatchConfig struct {
+	// MaxBatchRecords flushes a batch once it holds this many records.
+	MaxBatchRecords int
+	// MaxBatchBytes flushes a batch once its payload reaches this size.
+	MaxBatchBytes int
+	// MaxBatchDelay is the linger: how long the first record of a batch
+	// waits for company before the batch is flushed anyway. It bounds the
+	// latency cost of batching for idle clients.
+	MaxBatchDelay time.Duration
+	// MaxInFlight is the number of unacknowledged batches pipelined per
+	// (color, shard) before the batcher applies backpressure.
+	MaxInFlight int
+}
+
+// DefaultBatchConfig returns the tuning used by the benchmark harness:
+// device-friendly batches with a 100 µs linger, four batches in flight.
+func DefaultBatchConfig() BatchConfig {
+	return BatchConfig{
+		MaxBatchRecords: 64,
+		MaxBatchBytes:   256 << 10,
+		MaxBatchDelay:   100 * time.Microsecond,
+		MaxInFlight:     4,
+	}
+}
+
+// enabled reports whether any batching field is set.
+func (b BatchConfig) enabled() bool { return b != (BatchConfig{}) }
+
+// withDefaults fills zero fields of an enabled config.
+func (b BatchConfig) withDefaults() BatchConfig {
+	def := DefaultBatchConfig()
+	if b.MaxBatchRecords <= 0 {
+		b.MaxBatchRecords = def.MaxBatchRecords
+	}
+	if b.MaxBatchBytes <= 0 {
+		b.MaxBatchBytes = def.MaxBatchBytes
+	}
+	if b.MaxBatchDelay < 0 {
+		b.MaxBatchDelay = 0
+	}
+	if b.MaxInFlight <= 0 {
+		b.MaxInFlight = def.MaxInFlight
+	}
+	return b
+}
+
+// Option customizes a client handle at construction time. Options are the
+// v2 replacement for hand-built ClientConfig values; unspecified settings
+// keep the documented defaults (see the package godoc).
+type Option func(*ClientConfig)
+
+// WithFID sets the client's distinct function id (Alg. 1: token =
+// (FID<<32)+counter). Defaults to a value derived from the node id.
+func WithFID(fid uint32) Option {
+	return func(c *ClientConfig) { c.FID = fid }
+}
+
+// WithNodeID sets the client's transport node id. Connect auto-allocates
+// one when unset; cluster-created clients are always assigned one.
+func WithNodeID(id types.NodeID) Option {
+	return func(c *ClientConfig) { c.ID = id }
+}
+
+// WithRetryInterval sets how often an unanswered (idempotent) request is
+// re-broadcast. Default 50ms.
+func WithRetryInterval(d time.Duration) Option {
+	return func(c *ClientConfig) { c.RetryInterval = d }
+}
+
+// WithTimeout bounds every blocking operation. Default 10s.
+func WithTimeout(d time.Duration) Option {
+	return func(c *ClientConfig) { c.Timeout = d }
+}
+
+// WithSeed seeds shard selection; 0 derives one from the FID.
+func WithSeed(seed int64) Option {
+	return func(c *ClientConfig) { c.Seed = seed }
+}
+
+// WithBatching enables the client-side append batching & pipelining layer
+// with the given tuning (zero fields are filled from DefaultBatchConfig).
+func WithBatching(b BatchConfig) Option {
+	return func(c *ClientConfig) { c.Batch = b }
+}
+
+// WithoutBatching disables append batching (the default), overriding a
+// cluster-wide ClientBatch setting.
+func WithoutBatching() Option {
+	return func(c *ClientConfig) { c.Batch = BatchConfig{} }
+}
+
+// autoClientID allocates node ids for Connect-created clients. The band
+// is far above the Cluster allocator's (clientIDBase) so the two never
+// collide on one network.
+var autoClientID atomic.Uint64
+
+const autoClientIDBase types.NodeID = 1_000_000
+
+// Connect attaches a v2 client to an in-process network using functional
+// options:
+//
+//	c, err := core.Connect(cl.Topology(), cl.Network(),
+//	    core.WithBatching(core.DefaultBatchConfig()),
+//	    core.WithTimeout(2*time.Second))
+//
+// Node and function ids are auto-allocated when not given explicitly via
+// WithNodeID/WithFID. Cluster.NewClient accepts the same options and is
+// the usual entry point for in-process deployments.
+func Connect(topo *topology.Topology, net *transport.Network, opts ...Option) (*Client, error) {
+	cfg := ClientConfig{Topo: topo}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.ID == 0 {
+		cfg.ID = autoClientIDBase + types.NodeID(autoClientID.Add(1))
+	}
+	if cfg.FID == 0 {
+		cfg.FID = uint32(cfg.ID)
+	}
+	return NewClient(cfg, net)
+}

@@ -75,7 +75,14 @@ func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	v := uint64(d)
+	h.RecordValue(uint64(d))
+}
+
+// RecordValue adds one dimensionless observation (e.g. a batch size in
+// records or bytes). Value histograms share the duration histogram's
+// buckets; read them back with MeanValue/PercentileValue rather than the
+// time.Duration accessors.
+func (h *Histogram) RecordValue(v uint64) {
 	h.counts[bucketIndex(v)].Add(1)
 	h.total.Add(1)
 	h.sum.Add(v)
@@ -119,6 +126,28 @@ func (h *Histogram) Max() time.Duration {
 		return 0
 	}
 	return time.Duration(h.max.Load())
+}
+
+// MeanValue returns the arithmetic mean of dimensionless observations.
+func (h *Histogram) MeanValue() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// PercentileValue returns the dimensionless observation at quantile q.
+func (h *Histogram) PercentileValue(q float64) uint64 {
+	return uint64(h.Percentile(q))
+}
+
+// MaxValue returns the largest dimensionless observation, or 0 if empty.
+func (h *Histogram) MaxValue() uint64 {
+	if h.total.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
 }
 
 // Percentile returns the latency at quantile q in [0,100].

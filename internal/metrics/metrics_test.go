@@ -252,3 +252,29 @@ func relErr(got, want float64) float64 {
 	}
 	return math.Abs(got-want) / want
 }
+
+func TestValueHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{1, 2, 3, 4, 10} {
+		h.RecordValue(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.MeanValue(); got != 4 {
+		t.Fatalf("mean value = %v, want 4", got)
+	}
+	if got := h.MaxValue(); got != 10 {
+		t.Fatalf("max value = %d, want 10", got)
+	}
+	if got := h.PercentileValue(50); relErr(float64(got), 3) > 0.05 {
+		t.Fatalf("p50 value = %d, want ~3", got)
+	}
+	// Merged value histograms keep exact totals.
+	h2 := NewHistogram()
+	h2.RecordValue(100)
+	h.Merge(h2)
+	if h.Count() != 6 || h.MaxValue() != 100 {
+		t.Fatalf("after merge: count=%d max=%d", h.Count(), h.MaxValue())
+	}
+}

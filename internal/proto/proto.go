@@ -31,6 +31,29 @@ type AppendAck struct {
 	SN    types.SN
 }
 
+// AppendBatchReq is the framing used by the client-side batching layer:
+// several callers' appends to the same color, coalesced into one ordering
+// request and one data RPC. Each inner set is one caller's records; the
+// whole batch is persisted and ordered as a unit, so the sets occupy one
+// consecutive SN range in enqueue order and the client can demultiplex
+// per-set SNs from the last SN alone. Replicas acknowledge with a plain
+// AppendAck (the ack needs only the token and the batch's last SN).
+type AppendBatchReq struct {
+	Color  types.ColorID
+	Token  types.Token
+	Sets   [][][]byte
+	Client types.NodeID
+}
+
+// NRecords returns the total record count across all sets.
+func (m AppendBatchReq) NRecords() int {
+	n := 0
+	for _, set := range m.Sets {
+		n += len(set)
+	}
+	return n
+}
+
 // ReadReq asks one replica of a shard for the record at (Color, SN).
 type ReadReq struct {
 	ID     uint64 // client-chosen correlation id
@@ -264,6 +287,7 @@ type SyncDone struct {
 // registrations, which cannot happen here).
 func RegisterGob() {
 	gob.Register(AppendReq{})
+	gob.Register(AppendBatchReq{})
 	gob.Register(AppendAck{})
 	gob.Register(ReadReq{})
 	gob.Register(ReadResp{})

@@ -13,6 +13,7 @@ import (
 func everyMessage() []interface{} {
 	return []interface{}{
 		AppendReq{Color: 1, Token: types.MakeToken(2, 3), Records: [][]byte{[]byte("a"), {}}, Client: 4},
+		AppendBatchReq{Color: 1, Token: types.MakeToken(2, 4), Sets: [][][]byte{{[]byte("a")}, {[]byte("b"), []byte("c")}}, Client: 4},
 		AppendAck{Token: types.MakeToken(2, 3), SN: types.MakeSN(1, 9)},
 		ReadReq{ID: 1, Color: 2, SN: types.MakeSN(1, 3), Client: 4},
 		ReadResp{ID: 1, SN: types.MakeSN(1, 3), Data: []byte("x"), Found: true},
@@ -85,7 +86,7 @@ func normalize(v interface{}) interface{} {
 // TestMessageCountMatchesRegistry keeps everyMessage in sync with the
 // RegisterGob list: a new message type must be added to both.
 func TestMessageCountMatchesRegistry(t *testing.T) {
-	const registered = 29 // keep in lockstep with RegisterGob
+	const registered = 30 // keep in lockstep with RegisterGob
 	if got := len(everyMessage()); got != registered {
 		t.Fatalf("everyMessage has %d entries, RegisterGob registers %d — update both together", got, registered)
 	}

@@ -101,16 +101,18 @@ type trimWait struct {
 
 // Stats counts replica activity.
 type Stats struct {
-	Appends     uint64
-	Commits     uint64
-	Reads       uint64
-	HeldReads   uint64
-	ReadMisses  uint64
-	Subscribes  uint64
-	Trims       uint64
-	OReqRetries uint64
-	Syncs       uint64
-	Replays     uint64 // multi-append record sets replayed
+	Appends      uint64
+	BatchAppends uint64 // client-side coalesced batches (AppendBatchReq)
+	BatchRecords uint64 // records carried by those batches
+	Commits      uint64
+	Reads        uint64
+	HeldReads    uint64
+	ReadMisses   uint64
+	Subscribes   uint64
+	Trims        uint64
+	OReqRetries  uint64
+	Syncs        uint64
+	Replays      uint64 // multi-append record sets replayed
 }
 
 // Replica is one data-layer node.
@@ -294,6 +296,8 @@ func (r *Replica) handle(from types.NodeID, msg transport.Message) {
 	switch m := msg.(type) {
 	case proto.AppendReq:
 		r.onAppend(from, m)
+	case proto.AppendBatchReq:
+		r.onAppendBatch(from, m)
 	case proto.OrderResp:
 		r.onOrderResp(m)
 	case proto.ReadReq:
@@ -330,6 +334,30 @@ func (r *Replica) handle(from types.NodeID, msg transport.Message) {
 // ---- Append protocol (Alg. 1, replica role) ----
 
 func (r *Replica) onAppend(from types.NodeID, m proto.AppendReq) {
+	r.doAppend(from, m.Color, m.Token, m.Records, m.Client)
+}
+
+// onAppendBatch handles a client-side coalesced batch: the sets are
+// flattened and persisted/ordered as one unit, so they occupy one
+// consecutive SN range and the batching client can demultiplex per-set
+// SNs from the last SN in the AppendAck.
+func (r *Replica) onAppendBatch(from types.NodeID, m proto.AppendBatchReq) {
+	records := make([][]byte, 0, m.NRecords())
+	for _, set := range m.Sets {
+		records = append(records, set...)
+	}
+	if len(records) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.stats.BatchAppends++
+	r.stats.BatchRecords += uint64(len(records))
+	r.mu.Unlock()
+	r.doAppend(from, m.Color, m.Token, records, m.Client)
+}
+
+// doAppend runs the replica side of the append protocol for one token.
+func (r *Replica) doAppend(from types.NodeID, color types.ColorID, token types.Token, records [][]byte, client types.NodeID) {
 	r.mu.Lock()
 	if r.mode != ModeOperational {
 		// §6.3: replicas in sync mode stop processing new appends. The
@@ -338,56 +366,55 @@ func (r *Replica) onAppend(from types.NodeID, m proto.AppendReq) {
 		return
 	}
 	r.stats.Appends++
-	client := m.Client
 	if client == 0 {
 		client = from
 	}
-	if po, dup := r.pending[m.Token]; dup {
+	if po, dup := r.pending[token]; dup {
 		// Retried append still awaiting its SN: remember the (possibly
 		// additional) client and re-drive the order request.
 		po.clients[client] = true
 		po.sentAt = time.Time{} // force re-send on next tick
 		r.mu.Unlock()
-		r.sendOrderReq(m.Token, m.Color, uint32(len(m.Records)))
+		r.sendOrderReq(token, color, uint32(len(records)))
 		return
 	}
 	r.mu.Unlock()
 
-	err := r.st.PutBatch(m.Color, m.Token, m.Records)
+	err := r.st.PutBatch(color, token, records)
 	if err != nil && !errors.Is(err, storage.ErrDuplicateToken) {
 		return // out of space or oversized; client times out and retries elsewhere
 	}
 	if errors.Is(err, storage.ErrDuplicateToken) {
 		// Already persisted. If also committed, ack immediately.
-		if sn, ok := r.st.TokenSN(m.Token); ok && sn.Valid() {
-			r.ep.Send(client, proto.AppendAck{Token: m.Token, SN: sn})
+		if sn, ok := r.st.TokenSN(token); ok && sn.Valid() {
+			r.ep.Send(client, proto.AppendAck{Token: token, SN: sn})
 			return
 		}
 	}
 	r.mu.Lock()
-	if early, ok := r.early[m.Token]; ok {
+	if early, ok := r.early[token]; ok {
 		// The OResp raced ahead of the client's broadcast: commit now.
-		delete(r.early, m.Token)
+		delete(r.early, token)
 		r.mu.Unlock()
 		r.onOrderResp(early)
 		// Record the client so the (already-processed) response reaches it.
-		if sn, ok := r.st.TokenSN(m.Token); ok && sn.Valid() {
-			r.ep.Send(client, proto.AppendAck{Token: m.Token, SN: sn})
+		if sn, ok := r.st.TokenSN(token); ok && sn.Valid() {
+			r.ep.Send(client, proto.AppendAck{Token: token, SN: sn})
 		}
 		return
 	}
-	if po, dup := r.pending[m.Token]; dup {
+	if po, dup := r.pending[token]; dup {
 		po.clients[client] = true
 	} else {
-		r.pending[m.Token] = &pendingOrder{
-			color:    m.Color,
-			nRecords: uint32(len(m.Records)),
+		r.pending[token] = &pendingOrder{
+			color:    color,
+			nRecords: uint32(len(records)),
 			clients:  map[types.NodeID]bool{client: true},
 			sentAt:   time.Now(),
 		}
 	}
 	r.mu.Unlock()
-	r.sendOrderReq(m.Token, m.Color, uint32(len(m.Records)))
+	r.sendOrderReq(token, color, uint32(len(records)))
 }
 
 // sendOrderReq issues the round-2 order request to the leaf sequencer.
