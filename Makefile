@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench
+.PHONY: verify build test vet race bench bench-smoke
 
 verify: build test vet race
 
@@ -19,7 +19,12 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/replica/...
+	$(GO) test -race ./internal/core/... ./internal/replica/... ./internal/transport/... ./internal/storage/...
 
 bench:
 	$(GO) run ./cmd/flexlog-bench -quick all
+
+# Fast profiling loop for the read path: one quick ablation run with CPU
+# and heap profiles dropped next to the binary's working dir.
+bench-smoke:
+	$(GO) run ./cmd/flexlog-bench -quick -cpuprofile cpu.pprof -memprofile mem.pprof ablate-readpath

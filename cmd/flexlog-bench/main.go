@@ -4,16 +4,19 @@
 // Usage:
 //
 //	flexlog-bench -list
-//	flexlog-bench [-quick] [-duration 2s] <experiment-id>... | all
+//	flexlog-bench [-quick] [-duration 2s] [-cpuprofile f] [-memprofile f] <experiment-id>... | all
 //
 // Experiment ids: table1, fig1, fig4lat, fig4thr, fig5, fig6, fig7, fig8,
-// fig9, fig10, fig11, ablate-batch, ablate-cache, ablate-readhold.
+// fig9, fig10, fig11, ablate-batch, ablate-cache, ablate-readhold,
+// ablate-clientbatch, ablate-readpath, ext-burst.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"flexlog/internal/bench"
@@ -23,6 +26,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	quick := flag.Bool("quick", false, "shrink sweeps and durations (CI mode)")
 	duration := flag.Duration("duration", 0, "measurement window per point (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the experiment runs to this file")
 	flag.Parse()
 
 	if *list {
@@ -46,7 +51,43 @@ func main() {
 		ids = args
 	}
 
-	cfg := bench.RunConfig{Quick: *quick, Duration: *duration}
+	// run is a separate function so the profiling defers fire before the
+	// process exits with the failure count.
+	if run(ids, bench.RunConfig{Quick: *quick, Duration: *duration}, *cpuprofile, *memprofile) > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(ids []string, cfg bench.RunConfig, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if memprofile == "" {
+			return
+		}
+		f, err := os.Create(memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // report live allocations, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}()
+
 	failed := 0
 	for _, id := range ids {
 		e, ok := bench.ByID(id)
@@ -65,7 +106,5 @@ func main() {
 		fmt.Println(rep)
 		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
-	if failed > 0 {
-		os.Exit(1)
-	}
+	return failed
 }

@@ -29,7 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig1", "fig4lat", "fig4thr", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11",
 		"ablate-batch", "ablate-cache", "ablate-readhold",
-		"ablate-clientbatch",
+		"ablate-clientbatch", "ablate-readpath",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -302,6 +302,44 @@ func TestAblateClientBatchShape(t *testing.T) {
 	if latOn > latOff+linger+slackUsec {
 		t.Errorf("single-client latency regressed beyond the linger: on=%.0fµs off=%.0fµs linger=%.0fµs",
 			latOn, latOff, linger)
+	}
+}
+
+func TestAblateReadPathShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("measurement-based shape test skipped under the race detector")
+	}
+	rep := runExperiment(t, "ablate-readpath")
+	// ISSUE acceptance: >= 4x modeled read throughput at the largest reader
+	// count under the 95% read mix (the read lane divides read-class work
+	// across the replica's worker pool).
+	thrOff, ok1 := rep.Value("95%R lane off", "64")
+	thrOn, ok2 := rep.Value("95%R lane on", "64")
+	if !ok1 || !ok2 || thrOff <= 0 {
+		t.Fatalf("missing 64-reader throughput values: off=%v on=%v", thrOff, thrOn)
+	}
+	if thrOn < 4*thrOff {
+		t.Errorf("lane gain too small at 64 readers/95%%R: on=%.0fk off=%.0fk (<4x)", thrOn, thrOff)
+	}
+	// The 50% mix still benefits but less: the mutation stream stays serial.
+	mixOff, ok1 := rep.Value("50%R lane off", "64")
+	mixOn, ok2 := rep.Value("50%R lane on", "64")
+	if !ok1 || !ok2 || mixOff <= 0 {
+		t.Fatalf("missing 50%%R values: off=%v on=%v", mixOff, mixOn)
+	}
+	if mixOn < mixOff {
+		t.Errorf("lane hurt the 50%%R mix: on=%.0fk off=%.0fk", mixOn, mixOff)
+	}
+	// ISSUE acceptance: a lone closed-loop reader must not regress beyond
+	// 10% (plus scheduling slack for loaded CI machines).
+	latOff, ok1 := rep.Value("1-reader lat off", "1")
+	latOn, ok2 := rep.Value("1-reader lat on", "1")
+	if !ok1 || !ok2 || latOff <= 0 {
+		t.Fatalf("missing single-reader latency values: off=%v on=%v", latOff, latOn)
+	}
+	const slackUsec = 20
+	if latOn > 1.10*latOff+slackUsec {
+		t.Errorf("single-reader latency regressed: on=%.0fµs off=%.0fµs (>10%%)", latOn, latOff)
 	}
 }
 

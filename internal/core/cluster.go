@@ -42,6 +42,10 @@ type ClusterConfig struct {
 	RetryTimeout      time.Duration
 	// ReadHoldTimeout is the replica read-hold window (§6.3; paper: 1 ms).
 	ReadHoldTimeout time.Duration
+	// ReadWorkers sizes each replica's concurrent read/subscribe lane; 0
+	// serves reads inline on the serialized delivery loop (the pre-lane
+	// behavior, kept as the ablation baseline).
+	ReadWorkers int
 	// ClientTimeout bounds client operations.
 	ClientTimeout time.Duration
 	// ClientBatch, when non-zero, enables the append batching & pipelining
@@ -69,6 +73,7 @@ func TestClusterConfig() ClusterConfig {
 		FailureTimeout:  60 * time.Millisecond,
 		RetryTimeout:    30 * time.Millisecond,
 		ReadHoldTimeout: 5 * time.Millisecond,
+		ReadWorkers:     4,
 		ClientTimeout:   10 * time.Second,
 	}
 }
@@ -85,6 +90,7 @@ func BenchClusterConfig() ClusterConfig {
 	cfg.FailureTimeout = 100 * time.Millisecond
 	cfg.RetryTimeout = 200 * time.Millisecond
 	cfg.ReadHoldTimeout = time.Millisecond // §6.3: "a timeout of 1 ms is safe"
+	cfg.ReadWorkers = 16                   // the testbed's spare cores per replica
 	return cfg
 }
 
@@ -206,6 +212,7 @@ func (cl *Cluster) AddShardWithReplicas(leaf types.ColorID, replicas int) (types
 		rcfg.Topo = cl.topo
 		rcfg.Store = cl.cfg.Storage
 		rcfg.ReadHoldTimeout = cl.cfg.ReadHoldTimeout
+		rcfg.ReadWorkers = cl.cfg.ReadWorkers
 		rcfg.HeartbeatInterval = cl.cfg.HeartbeatInterval
 		rcfg.RetryTimeout = cl.cfg.RetryTimeout
 		r, err := replica.New(rcfg, cl.net)

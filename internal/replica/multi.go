@@ -98,12 +98,9 @@ type replayWait struct {
 // onMultiAppendEnd replays each staged set into its target color and acks
 // the client when all sets are appended (Alg. 2 replica role).
 func (r *Replica) onMultiAppendEnd(from types.NodeID, m proto.MultiAppendEnd) {
-	r.mu.Lock()
-	if r.mode != ModeOperational {
-		r.mu.Unlock()
+	if r.mode.load() != ModeOperational {
 		return
 	}
-	r.mu.Unlock()
 	client := m.Client
 	if client == 0 {
 		client = from
@@ -122,9 +119,7 @@ func (r *Replica) replayStaged(client types.NodeID, m proto.MultiAppendEnd) {
 			return
 		}
 	}
-	r.mu.Lock()
-	r.stats.Replays += uint64(len(m.Tokens))
-	r.mu.Unlock()
+	r.stats.replays.Add(uint64(len(m.Tokens)))
 	r.ep.Send(client, proto.MultiAppendAck{ID: m.ID})
 }
 

@@ -5,14 +5,22 @@
 // acts as a broker for multi-color appends (Alg. 2), and recovers through
 // the sync-phase protocol (§6.3).
 //
-// Concurrency model: inbound messages are delivered sequentially by the
-// transport; timers and multi-append replays run on background goroutines.
-// All shared state is guarded by r.mu; storage has its own locking.
+// Concurrency model (two lanes): mutation traffic — appends, commits,
+// trims, sync, multi-append — is delivered sequentially by the transport's
+// per-endpoint delivery loop and its shared state is guarded by r.mu.
+// Read-class traffic (ReadReq, SubscribeReq) is dispatched to a transport
+// worker pool (Config.ReadWorkers) and runs concurrently; the read path
+// therefore only touches storage (internally synchronized), the per-color
+// atomic watermarks, the lock-striped held-read registry, and atomic
+// counters — never r.mu. See readpath.go for why this preserves
+// linearizability. Timers and multi-append replays run on background
+// goroutines.
 package replica
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flexlog/internal/proto"
@@ -56,6 +64,13 @@ type Config struct {
 	// ReadHoldTimeout bounds how long a read for a not-yet-seen SN is held
 	// before returning ⊥ (§6.3 Safety; "a timeout of 1 ms is safe").
 	ReadHoldTimeout time.Duration
+	// ReadWorkers sizes the concurrent read/subscribe service lane; 0
+	// serves reads inline on the (serialized) delivery loop.
+	ReadWorkers int
+	// EarlyBound caps the buffer of OrderResps that arrive before their
+	// AppendReq; 0 uses a large default. Tests shrink it to exercise
+	// eviction.
+	EarlyBound int
 	// HeartbeatInterval is the replica→sequencer liveness beat.
 	HeartbeatInterval time.Duration
 	// RetryTimeout re-issues order requests that got no response (e.g.
@@ -71,6 +86,7 @@ func DefaultConfig() Config {
 	return Config{
 		Store:             storage.TestConfig(),
 		ReadHoldTimeout:   time.Millisecond,
+		ReadWorkers:       4,
 		HeartbeatInterval: 5 * time.Millisecond,
 		RetryTimeout:      30 * time.Millisecond,
 	}
@@ -107,6 +123,7 @@ type Stats struct {
 	Commits      uint64
 	Reads        uint64
 	HeldReads    uint64
+	HeldWakeups  uint64 // parked reads released by a satisfying commit
 	ReadMisses   uint64
 	Subscribes   uint64
 	Trims        uint64
@@ -115,6 +132,49 @@ type Stats struct {
 	Replays      uint64 // multi-append record sets replayed
 }
 
+// counters is the live, atomically updated form of Stats: the read lane
+// bumps these concurrently with the mutation loop.
+type counters struct {
+	appends      atomic.Uint64
+	batchAppends atomic.Uint64
+	batchRecords atomic.Uint64
+	commits      atomic.Uint64
+	reads        atomic.Uint64
+	heldReads    atomic.Uint64
+	heldWakeups  atomic.Uint64
+	readMisses   atomic.Uint64
+	subscribes   atomic.Uint64
+	trims        atomic.Uint64
+	oreqRetries  atomic.Uint64
+	syncs        atomic.Uint64
+	replays      atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Appends:      c.appends.Load(),
+		BatchAppends: c.batchAppends.Load(),
+		BatchRecords: c.batchRecords.Load(),
+		Commits:      c.commits.Load(),
+		Reads:        c.reads.Load(),
+		HeldReads:    c.heldReads.Load(),
+		HeldWakeups:  c.heldWakeups.Load(),
+		ReadMisses:   c.readMisses.Load(),
+		Subscribes:   c.subscribes.Load(),
+		Trims:        c.trims.Load(),
+		OReqRetries:  c.oreqRetries.Load(),
+		Syncs:        c.syncs.Load(),
+		Replays:      c.replays.Load(),
+	}
+}
+
+// atomicMode is the replica mode as a lock-free cell: every inbound
+// message (on either lane) checks it.
+type atomicMode struct{ v atomic.Int32 }
+
+func (m *atomicMode) load() Mode    { return Mode(m.v.Load()) }
+func (m *atomicMode) store(md Mode) { m.v.Store(int32(md)) }
+
 // Replica is one data-layer node.
 type Replica struct {
 	cfg  Config
@@ -122,24 +182,28 @@ type Replica struct {
 	ep   transport.Endpoint
 	st   *storage.Store
 
-	mu       sync.Mutex
-	mode     Mode
-	epoch    types.Epoch  // known sequencer epoch (§6.3)
-	seqNode  types.NodeID // current leaf-sequencer leader
-	pending  map[types.Token]*pendingOrder
-	held     []heldRead
-	trims    map[uint64]*trimWait
-	initSeq  types.NodeID // sequencer awaiting SeqInitAck after sync
-	initEpo  types.Epoch
-	syncRuns map[uint64]*syncRun // concurrent sync-phases, keyed by run id
-	syncSeq  uint64
-	replays  map[types.Token]*replayWait
-	early    map[types.Token]proto.OrderResp // OResps that beat the AppendReq
-	maxSeen  map[types.ColorID]types.SN      // highest SN observed (commit or read)
-	stats    Stats
-	stopCh   chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	// Lock-free state shared between the mutation loop and the read lane.
+	mode    atomicMode
+	maxSeen watermarks   // per-color highest SN observed (commit or sync)
+	held    heldRegistry // parked reads keyed by (color, SN)
+	stats   counters
+
+	mu         sync.Mutex
+	epoch      types.Epoch  // known sequencer epoch (§6.3)
+	seqNode    types.NodeID // current leaf-sequencer leader
+	pending    map[types.Token]*pendingOrder
+	trims      map[uint64]*trimWait
+	initSeq    types.NodeID // sequencer awaiting SeqInitAck after sync
+	initEpo    types.Epoch
+	syncRuns   map[uint64]*syncRun // concurrent sync-phases, keyed by run id
+	syncSeq    uint64
+	replays    map[types.Token]*replayWait
+	early      map[types.Token]proto.OrderResp // OResps that beat the AppendReq
+	earlyOrder []types.Token                   // insertion order of early entries (oldest first)
+	stopCh     chan struct{}
+	stopOnce   sync.Once
+	wg         sync.WaitGroup
+	laneStop   func() // drains a handler-wrapped read lane (custom endpoints)
 }
 
 // New creates a replica, attaches it to the network, and starts its timers.
@@ -149,7 +213,7 @@ func New(cfg Config, net *transport.Network) (*Replica, error) {
 		return nil, err
 	}
 	r := newReplica(cfg, st)
-	ep, err := net.Register(cfg.ID, r.handle)
+	ep, err := net.RegisterWithLane(cfg.ID, r.handle, r.laneConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -159,14 +223,19 @@ func New(cfg Config, net *transport.Network) (*Replica, error) {
 }
 
 // NewWithEndpoint creates a replica over a custom endpoint (TCP mode).
+// Read-class traffic is served by a handler-level worker pool, since the
+// endpoint is not managed by the in-process Network.
 func NewWithEndpoint(cfg Config, attach func(h transport.Handler) (transport.Endpoint, error)) (*Replica, error) {
 	st, err := buildStore(cfg)
 	if err != nil {
 		return nil, err
 	}
 	r := newReplica(cfg, st)
-	ep, err := attach(r.handle)
+	h, _, stop := transport.WithReadLane(r.handle, r.laneConfig())
+	r.laneStop = stop
+	ep, err := attach(h)
 	if err != nil {
+		stop()
 		return nil, err
 	}
 	r.ep = ep
@@ -187,16 +256,15 @@ func newReplica(cfg Config, st *storage.Store) *Replica {
 		cfg:      cfg,
 		topo:     cfg.Topo,
 		st:       st,
-		mode:     ModeOperational,
 		epoch:    1,
 		pending:  make(map[types.Token]*pendingOrder),
 		trims:    make(map[uint64]*trimWait),
 		replays:  make(map[types.Token]*replayWait),
 		early:    make(map[types.Token]proto.OrderResp),
 		syncRuns: make(map[uint64]*syncRun),
-		maxSeen:  make(map[types.ColorID]types.SN),
 		stopCh:   make(chan struct{}),
 	}
+	r.mode.store(ModeOperational)
 	if sh, err := cfg.Topo.Shard(cfg.Shard); err == nil {
 		if si, err := cfg.Topo.Sequencer(sh.Leaf); err == nil {
 			r.seqNode = si.Leader
@@ -215,9 +283,7 @@ func (r *Replica) ID() types.NodeID { return r.cfg.ID }
 
 // Mode returns the replica's current mode.
 func (r *Replica) Mode() Mode {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.mode
+	return r.mode.load()
 }
 
 // Epoch returns the sequencer epoch the replica currently follows.
@@ -232,18 +298,21 @@ func (r *Replica) Store() *storage.Store { return r.st }
 
 // Stats returns a snapshot of the counters.
 func (r *Replica) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return r.stats.snapshot()
 }
+
+// HeldReads returns the number of currently parked reads (read-lane
+// queue-depth metric for the bench harness).
+func (r *Replica) HeldReads() int { return r.held.size() }
 
 // Stop shuts the replica down gracefully.
 func (r *Replica) Stop() {
 	r.stopOnce.Do(func() {
-		r.mu.Lock()
-		r.mode = ModeStopped
-		r.mu.Unlock()
+		r.mode.store(ModeStopped)
 		close(r.stopCh)
+		if r.laneStop != nil {
+			r.laneStop()
+		}
 	})
 	r.wg.Wait()
 }
@@ -285,11 +354,10 @@ func (r *Replica) sequencer() types.NodeID {
 	return known
 }
 
-// handle dispatches one inbound message.
+// handle dispatches one inbound message. Read-class messages arrive here
+// on lane workers, everything else on the delivery loop.
 func (r *Replica) handle(from types.NodeID, msg transport.Message) {
-	r.mu.Lock()
-	mode := r.mode
-	r.mu.Unlock()
+	mode := r.mode.load()
 	if mode == ModeCrashed || mode == ModeStopped {
 		return
 	}
@@ -349,26 +417,23 @@ func (r *Replica) onAppendBatch(from types.NodeID, m proto.AppendBatchReq) {
 	if len(records) == 0 {
 		return
 	}
-	r.mu.Lock()
-	r.stats.BatchAppends++
-	r.stats.BatchRecords += uint64(len(records))
-	r.mu.Unlock()
+	r.stats.batchAppends.Add(1)
+	r.stats.batchRecords.Add(uint64(len(records)))
 	r.doAppend(from, m.Color, m.Token, records, m.Client)
 }
 
 // doAppend runs the replica side of the append protocol for one token.
 func (r *Replica) doAppend(from types.NodeID, color types.ColorID, token types.Token, records [][]byte, client types.NodeID) {
-	r.mu.Lock()
-	if r.mode != ModeOperational {
+	if r.mode.load() != ModeOperational {
 		// §6.3: replicas in sync mode stop processing new appends. The
 		// client (or broker) retries.
-		r.mu.Unlock()
 		return
 	}
-	r.stats.Appends++
+	r.stats.appends.Add(1)
 	if client == 0 {
 		client = from
 	}
+	r.mu.Lock()
 	if po, dup := r.pending[token]; dup {
 		// Retried append still awaiting its SN: remember the (possibly
 		// additional) client and re-drive the order request.
@@ -440,27 +505,15 @@ func (r *Replica) onOrderResp(m proto.OrderResp) {
 			// have not seen yet (the client's round-1 broadcast to us is
 			// still in flight): buffer it so onAppend can commit
 			// immediately on arrival.
-			r.mu.Lock()
-			r.early[m.Token] = m
-			if len(r.early) > 1<<16 {
-				// Defensive bound; stale entries are harmless to drop
-				// because the sequencer rebroadcasts on retry.
-				for t := range r.early {
-					delete(r.early, t)
-					break
-				}
-			}
-			r.mu.Unlock()
+			r.bufferEarly(m)
 			return
 		}
 		// Conflicting SN for an already-committed token: first wins; the
 		// extra range becomes a hole, which is legal (§6.3).
 	}
+	r.stats.commits.Add(1)
+	r.maxSeen.bump(m.Color, m.LastSN)
 	r.mu.Lock()
-	r.stats.Commits++
-	if m.LastSN > r.maxSeen[m.Color] {
-		r.maxSeen[m.Color] = m.LastSN
-	}
 	po := r.pending[m.Token]
 	delete(r.pending, m.Token)
 	var clients []types.NodeID
@@ -474,116 +527,62 @@ func (r *Replica) onOrderResp(m proto.OrderResp) {
 	for _, c := range clients {
 		r.ep.Send(c, proto.AppendAck{Token: m.Token, SN: sn})
 	}
-	r.releaseHeldReads()
+	r.wakeHeld(m.Color, r.frontier(m.Color))
 }
 
-// ---- Read protocol (§6.1) with read-hold (§6.3 Safety) ----
-
-func (r *Replica) onRead(from types.NodeID, m proto.ReadReq) {
+// bufferEarly stores an OrderResp that beat its AppendReq. The buffer is
+// bounded (Config.EarlyBound): overflow evicts the oldest live entry —
+// never the one just inserted. The previous random map-iteration eviction
+// could drop the just-buffered response itself, stalling that append until
+// the sequencer's retry rebroadcast.
+func (r *Replica) bufferEarly(m proto.OrderResp) {
+	bound := r.cfg.EarlyBound
+	if bound <= 0 {
+		bound = 1 << 16
+	}
 	r.mu.Lock()
-	r.stats.Reads++
-	r.mu.Unlock()
-	data, err := r.st.Get(m.Color, m.SN)
-	if err == nil {
-		r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Data: data, Found: true})
-		return
+	if _, exists := r.early[m.Token]; !exists {
+		r.earlyOrder = append(r.earlyOrder, m.Token)
 	}
-	if errors.Is(err, storage.ErrTrimmed) {
-		r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Found: false})
-		return
-	}
-	// Not found. If the SN is above everything this replica has seen, the
-	// append may still be in flight: hold the request (§6.3, problem 2).
-	r.mu.Lock()
-	maxSeen := r.maxSeen[m.Color]
-	if st := r.st.MaxSN(m.Color); st > maxSeen {
-		maxSeen = st
-	}
-	if m.SN > maxSeen && r.cfg.ReadHoldTimeout > 0 {
-		r.stats.HeldReads++
-		r.held = append(r.held, heldRead{req: m, from: from, deadline: time.Now().Add(r.cfg.ReadHoldTimeout)})
-		r.mu.Unlock()
-		return
-	}
-	r.stats.ReadMisses++
-	r.mu.Unlock()
-	// A hole (an SN below the committed frontier with no record): ⊥.
-	r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Found: false})
-}
-
-// releaseHeldReads re-checks parked reads after new commits.
-func (r *Replica) releaseHeldReads() {
-	r.mu.Lock()
-	if len(r.held) == 0 {
-		r.mu.Unlock()
-		return
-	}
-	held := r.held
-	r.held = nil
-	r.mu.Unlock()
-
-	var still []heldRead
-	for _, h := range held {
-		data, err := r.st.Get(h.req.Color, h.req.SN)
-		switch {
-		case err == nil:
-			r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Data: data, Found: true})
-		case errors.Is(err, storage.ErrTrimmed):
-			r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Found: false})
-		default:
-			if r.st.MaxSN(h.req.Color) >= h.req.SN {
-				// A higher SN has appeared: the requested SN is a hole. ⊥.
-				r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Found: false})
-			} else {
-				still = append(still, h)
+	r.early[m.Token] = m
+	for len(r.early) > bound {
+		var victim types.Token
+		found := false
+		for len(r.earlyOrder) > 0 {
+			t := r.earlyOrder[0]
+			if t == m.Token {
+				break // the oldest live entry is the new one: keep it
+			}
+			r.earlyOrder = r.earlyOrder[1:]
+			// Skip stale queue entries whose map entry onAppend consumed.
+			if _, live := r.early[t]; live {
+				victim, found = t, true
+				break
 			}
 		}
-	}
-	if len(still) > 0 {
-		r.mu.Lock()
-		r.held = append(r.held, still...)
-		r.mu.Unlock()
-	}
-}
-
-// expireHeldReads times out parked reads (the request "times out; that does
-// not violate linearizability", §6.3).
-func (r *Replica) expireHeldReads(now time.Time) {
-	r.mu.Lock()
-	var keep, expired []heldRead
-	for _, h := range r.held {
-		if now.After(h.deadline) {
-			expired = append(expired, h)
-		} else {
-			keep = append(keep, h)
+		if !found {
+			break
 		}
+		// Dropping a buffered OResp is harmless: the sequencer rebroadcasts
+		// on the owning replica's retry.
+		delete(r.early, victim)
 	}
-	r.held = keep
-	if len(expired) > 0 {
-		r.stats.ReadMisses += uint64(len(expired))
+	// onAppend deletes from the map only, so stale tokens accumulate in the
+	// queue; compact when they dominate.
+	if len(r.earlyOrder) > 4*len(r.early)+64 {
+		live := r.earlyOrder[:0]
+		for _, t := range r.earlyOrder {
+			if _, ok := r.early[t]; ok {
+				live = append(live, t)
+			}
+		}
+		r.earlyOrder = live
 	}
 	r.mu.Unlock()
-	for _, h := range expired {
-		r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Found: false})
-	}
 }
 
-// ---- Subscribe (§6.2) ----
-
-func (r *Replica) onSubscribe(from types.NodeID, m proto.SubscribeReq) {
-	r.mu.Lock()
-	r.stats.Subscribes++
-	r.mu.Unlock()
-	recs, err := r.st.ScanFrom(m.Color, m.From)
-	if err != nil {
-		return
-	}
-	out := make([]proto.WireRecord, len(recs))
-	for i, rec := range recs {
-		out[i] = proto.WireRecord{Token: rec.Token, SN: rec.SN, Data: rec.Data}
-	}
-	r.ep.Send(from, proto.SubscribeResp{ID: m.ID, Color: m.Color, Records: out})
-}
+// The read protocol (§6.1, §6.3 read-hold) and subscribe (§6.2) live in
+// readpath.go: they run concurrently on the transport's read lane.
 
 // ---- Trim (§6.2) with the all-to-all ack barrier ----
 
@@ -591,8 +590,8 @@ func (r *Replica) onTrim(from types.NodeID, m proto.TrimReq) {
 	if _, _, err := r.st.Trim(m.Color, m.SN); err != nil {
 		return
 	}
+	r.stats.trims.Add(1)
 	r.mu.Lock()
-	r.stats.Trims++
 	client := m.Client
 	if client == 0 {
 		client = from
@@ -691,9 +690,7 @@ func (r *Replica) timerLoop() {
 		case <-r.stopCh:
 			return
 		case now := <-t.C:
-			r.mu.Lock()
-			mode := r.mode
-			r.mu.Unlock()
+			mode := r.mode.load()
 			if mode != ModeOperational && mode != ModeSyncing {
 				continue
 			}
@@ -722,7 +719,7 @@ func (r *Replica) retryPendingOrders(now time.Time) {
 	for tok, po := range r.pending {
 		if po.sentAt.IsZero() || now.Sub(po.sentAt) >= r.cfg.RetryTimeout {
 			po.sentAt = now
-			r.stats.OReqRetries++
+			r.stats.oreqRetries.Add(1)
 			out = append(out, resend{token: tok, color: po.color, n: po.nRecords})
 		}
 	}

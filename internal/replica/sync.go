@@ -36,10 +36,10 @@ type syncRun struct {
 // Crash simulates a crash failure of the replica process: the devices stop
 // and all messages are ignored until Recover.
 func (r *Replica) Crash() {
+	r.mode.store(ModeCrashed)
+	r.held.drain() // parked reads are dropped; clients time out and retry
 	r.mu.Lock()
-	r.mode = ModeCrashed
 	r.pending = make(map[types.Token]*pendingOrder)
-	r.held = nil
 	r.trims = make(map[uint64]*trimWait)
 	r.syncRuns = make(map[uint64]*syncRun)
 	r.mu.Unlock()
@@ -54,10 +54,8 @@ func (r *Replica) Recover() error {
 	if err := r.st.Recover(); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	r.mode = ModeSyncing
-	r.maxSeen = make(map[types.ColorID]types.SN)
-	r.mu.Unlock()
+	r.mode.store(ModeSyncing)
+	r.maxSeen.reset() // the sync-phase rebuilds the watermarks from storage
 	r.startSyncPhase()
 	return nil
 }
@@ -76,8 +74,8 @@ func (r *Replica) startSyncPhase() {
 		participants: append([]types.NodeID{r.cfg.ID}, peers...),
 	}
 	r.syncRuns[id] = run
-	r.mode = ModeSyncing
-	r.stats.Syncs++
+	r.mode.store(ModeSyncing)
+	r.stats.syncs.Add(1)
 	// Record our own state.
 	run.states[r.cfg.ID] = proto.SyncState{ID: id, Epoch: r.epoch, MaxSNs: r.maxSNsLocked(), From: r.cfg.ID}
 	r.mu.Unlock()
@@ -113,7 +111,7 @@ func (r *Replica) onSyncRequest(from types.NodeID, m proto.SyncRequest) {
 	// (§6.3). Reads keep being served — committed entries stay readable.
 	// Concurrent recoveries each coordinate their own run; a replica
 	// participates in all of them and resumes when the last completes.
-	r.mode = ModeSyncing
+	r.mode.store(ModeSyncing)
 	if r.syncRuns[m.ID] == nil {
 		r.syncRuns[m.ID] = &syncRun{
 			id:           m.ID,
@@ -272,11 +270,7 @@ func (r *Replica) onSyncEntries(m proto.SyncEntries) {
 			if err := r.st.Commit(rec.Token, rec.SN); err != nil && err != storage.ErrUnknownToken {
 				continue
 			}
-			r.mu.Lock()
-			if rec.SN > r.maxSeen[color] {
-				r.maxSeen[color] = rec.SN
-			}
-			r.mu.Unlock()
+			r.maxSeen.bump(color, rec.SN)
 		}
 	}
 	r.broadcastSyncDone(m.ID)
@@ -349,7 +343,7 @@ func (r *Replica) completeSync(id uint64) {
 // finishSyncLocked transitions to operational, acks a pending SeqInit, and
 // re-drives uncommitted batches. Caller holds r.mu.
 func (r *Replica) finishSyncLocked() {
-	r.mode = ModeOperational
+	r.mode.store(ModeOperational)
 	initSeq, initEpo := r.initSeq, r.initEpo
 	r.initSeq, r.initEpo = 0, 0
 	if initSeq != 0 {

@@ -221,14 +221,22 @@ func (st *Store) commitEntrySN(loc *entryLoc, sn types.SN) error {
 }
 
 // readRecordData fetches one record of an entry from PM or the SSD tier.
+// Caller holds st.mu (the tier is decided by the segment's current state).
 func (st *Store) readRecordData(loc *entryLoc, idx int) ([]byte, error) {
+	return st.readRecordAt(loc, idx, loc.seg.flushed())
+}
+
+// readRecordAt is readRecordData with the tier fixed by the caller's
+// snapshot, so it can run without st.mu (the unlocked read path; PM reads
+// must then be revalidated against slot reuse).
+func (st *Store) readRecordAt(loc *entryLoc, idx int, flushed bool) ([]byte, error) {
 	if idx < 0 || idx >= loc.count() {
 		return nil, fmt.Errorf("storage: record index %d out of batch of %d", idx, loc.count())
 	}
 	sp := loc.spans[idx]
 	buf := make([]byte, sp.len)
 	dataOff := loc.off + entryHeaderSize + uint64(sp.off)
-	if loc.seg.flushed() {
+	if flushed {
 		if err := st.dev.ReadAt(loc.seg.ssdName(), int64(dataOff), buf); err != nil {
 			return nil, err
 		}

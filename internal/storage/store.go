@@ -91,7 +91,7 @@ type Store struct {
 	mu       sync.RWMutex
 	pm       *pmem.Pool
 	dev      *ssd.Device
-	cache    *lruCache
+	cache    *stripedCache
 	slots    []uint64   // pm offset of each slot
 	slotSeg  []*segment // segment currently occupying each slot (nil = free)
 	segs     map[uint64]*segment
@@ -126,7 +126,7 @@ func NewWithDevices(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error
 		cfg:     cfg,
 		pm:      pool,
 		dev:     dev,
-		cache:   newLRUCache(cfg.CacheBytes),
+		cache:   newStripedCache(cfg.CacheBytes),
 		segs:    make(map[uint64]*segment),
 		byToken: make(map[types.Token]*entryLoc),
 		byColor: make(map[types.ColorID]*colorIndex),
@@ -415,30 +415,77 @@ func (st *Store) TokenInfo(token types.Token) (types.ColorID, types.SN, bool) {
 	return loc.color, loc.lastSN(), true
 }
 
+// lookupLocked resolves (color, sn) to its record ref. Caller holds st.mu.
+func (st *Store) lookupLocked(color types.ColorID, sn types.SN) (recordRef, error) {
+	ci := st.byColor[color]
+	if ci == nil {
+		return recordRef{}, ErrNotFound
+	}
+	if sn <= ci.trimmed {
+		return recordRef{}, ErrTrimmed
+	}
+	ref, ok := ci.bySN[sn]
+	if !ok {
+		return recordRef{}, ErrNotFound
+	}
+	return ref, nil
+}
+
 // Get returns the payload of the committed record (color, sn), consulting
 // cache, then PM, then SSD (§5.2: "the volatile cache is first read, then
 // PM, then the SSD").
+//
+// The device access runs with st.mu released, so concurrent readers (the
+// replica's read lane) overlap their PM/SSD latency instead of serializing
+// on the store lock. PM slots are reused when a segment is flushed to the
+// SSD, so an unlocked PM read is revalidated afterwards: if the segment
+// lost its slot mid-read the bytes may be torn and the lookup is retried
+// (the record then resolves to its SSD copy, which is immutable).
 func (st *Store) Get(color types.ColorID, sn types.SN) ([]byte, error) {
 	if data, ok := st.cache.get(color, sn); ok {
 		return data, nil
 	}
+	for attempt := 0; attempt < 2; attempt++ {
+		st.mu.RLock()
+		ref, err := st.lookupLocked(color, sn)
+		if err != nil {
+			st.mu.RUnlock()
+			return nil, err
+		}
+		seg := ref.loc.seg
+		flushed := seg.flushed()
+		st.mu.RUnlock()
+
+		data, derr := st.readRecordAt(ref.loc, ref.idx, flushed)
+		if flushed {
+			// SSD segment files are written once and never mutated.
+			if derr != nil {
+				return nil, derr
+			}
+			st.cache.put(color, sn, data)
+			return data, nil
+		}
+		if derr == nil {
+			st.mu.RLock()
+			valid := !seg.flushed() && st.slotSeg[seg.slot] == seg
+			st.mu.RUnlock()
+			if valid {
+				st.cache.put(color, sn, data)
+				return data, nil
+			}
+		}
+		// The PM slot was flushed or reclaimed mid-read: retry the lookup
+		// (the record moved to the SSD, or was trimmed away).
+	}
+	// Still racing after retries (or the PM read keeps failing): resolve
+	// under the full lock, where no flush can interleave.
 	st.mu.RLock()
-	ci := st.byColor[color]
-	if ci == nil {
-		st.mu.RUnlock()
-		return nil, ErrNotFound
-	}
-	if sn <= ci.trimmed {
-		st.mu.RUnlock()
-		return nil, ErrTrimmed
-	}
-	ref, ok := ci.bySN[sn]
-	if !ok {
-		st.mu.RUnlock()
-		return nil, ErrNotFound
+	defer st.mu.RUnlock()
+	ref, err := st.lookupLocked(color, sn)
+	if err != nil {
+		return nil, err
 	}
 	data, err := st.readRecordData(ref.loc, ref.idx)
-	st.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -478,27 +525,35 @@ func (st *Store) Bounds(color types.ColorID) (head, tail types.SN) {
 // Scan returns all committed records of the color sorted by SN (the
 // replica-local half of the Subscribe protocol, §6.2).
 func (st *Store) Scan(color types.ColorID) ([]types.Record, error) {
+	return st.ScanFrom(color, types.InvalidSN)
+}
+
+// ScanFrom returns committed records of the color with SN > after, sorted.
+// Only the matching refs are snapshotted and read — a subscriber tailing
+// the log no longer pays device reads for the prefix it already has — and
+// each device read runs with st.mu released (see Get).
+func (st *Store) ScanFrom(color types.ColorID, after types.SN) ([]types.Record, error) {
+	type snRef struct {
+		sn  types.SN
+		ref recordRef
+	}
 	st.mu.RLock()
 	ci := st.byColor[color]
 	if ci == nil {
 		st.mu.RUnlock()
 		return nil, nil
 	}
-	type snRef struct {
-		sn  types.SN
-		ref recordRef
-	}
 	refs := make([]snRef, 0, len(ci.bySN))
 	for sn, ref := range ci.bySN {
-		refs = append(refs, snRef{sn, ref})
+		if sn > after {
+			refs = append(refs, snRef{sn, ref})
+		}
 	}
 	st.mu.RUnlock()
 	sort.Slice(refs, func(i, j int) bool { return refs[i].sn < refs[j].sn })
 	out := make([]types.Record, 0, len(refs))
 	for _, r := range refs {
-		st.mu.RLock()
-		data, err := st.readRecordData(r.ref.loc, r.ref.idx)
-		st.mu.RUnlock()
+		data, err := st.readLive(r.ref.loc, r.ref.idx)
 		if err != nil {
 			return nil, err
 		}
@@ -507,14 +562,29 @@ func (st *Store) Scan(color types.ColorID) ([]types.Record, error) {
 	return out, nil
 }
 
-// ScanFrom returns committed records of the color with SN > after, sorted.
-func (st *Store) ScanFrom(color types.ColorID, after types.SN) ([]types.Record, error) {
-	all, err := st.Scan(color)
-	if err != nil {
-		return nil, err
+// readLive reads one record with st.mu released across the device access,
+// revalidating PM reads against slot reuse (see Get for the hazard).
+func (st *Store) readLive(loc *entryLoc, idx int) ([]byte, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		st.mu.RLock()
+		flushed := loc.seg.flushed()
+		st.mu.RUnlock()
+		data, err := st.readRecordAt(loc, idx, flushed)
+		if flushed {
+			return data, err // SSD files are immutable: both outcomes final
+		}
+		if err == nil {
+			st.mu.RLock()
+			valid := !loc.seg.flushed() && st.slotSeg[loc.seg.slot] == loc.seg
+			st.mu.RUnlock()
+			if valid {
+				return data, nil
+			}
+		}
 	}
-	i := sort.Search(len(all), func(i int) bool { return all[i].SN > after })
-	return all[i:], nil
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.readRecordData(loc, idx)
 }
 
 // Uncommitted returns batches persisted but not yet assigned SNs, used by
@@ -612,7 +682,7 @@ func (st *Store) Recover() error {
 	st.segs = make(map[uint64]*segment)
 	st.byToken = make(map[types.Token]*entryLoc)
 	st.byColor = make(map[types.ColorID]*colorIndex)
-	st.cache = newLRUCache(st.cfg.CacheBytes)
+	st.cache = newStripedCache(st.cfg.CacheBytes)
 	st.active = nil
 	st.nextSeg = 1
 	for i := range st.slotSeg {
@@ -809,7 +879,7 @@ func Attach(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error) {
 		cfg:     cfg,
 		pm:      pool,
 		dev:     dev,
-		cache:   newLRUCache(cfg.CacheBytes),
+		cache:   newStripedCache(cfg.CacheBytes),
 		segs:    make(map[uint64]*segment),
 		byToken: make(map[types.Token]*entryLoc),
 		byColor: make(map[types.ColorID]*colorIndex),

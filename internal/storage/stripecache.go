@@ -1,0 +1,72 @@
+package storage
+
+import "flexlog/internal/types"
+
+// cacheStripes is the number of independently locked LRU stripes of the
+// DRAM tier. One mutex over the whole cache made every concurrent read of
+// the store contend on cache bookkeeping even on hits; striping by
+// (color, SN) lets the read lane's workers hit the cache in parallel.
+// Each stripe runs its own LRU — eviction is approximate global LRU,
+// which is fine for a cache.
+const cacheStripes = 16
+
+// stripedCache shards the DRAM cache (§5.2) across cacheStripes lruCaches.
+// Cache hits return the stored slice without copying; entries are replaced
+// wholesale, never mutated, so the shared backing array is safe to hand
+// out (zero-copy serving).
+type stripedCache struct {
+	stripes []*lruCache
+}
+
+// newStripedCache splits capacityBytes evenly across the stripes. Small
+// caches (where a per-stripe share could not hold one typical record)
+// degenerate to a single stripe so capacity semantics stay intact.
+func newStripedCache(capacityBytes int) *stripedCache {
+	n := cacheStripes
+	if capacityBytes < 64<<10 {
+		n = 1
+	}
+	c := &stripedCache{stripes: make([]*lruCache, n)}
+	for i := range c.stripes {
+		c.stripes[i] = newLRUCache(capacityBytes / n)
+	}
+	return c
+}
+
+func (c *stripedCache) stripe(color types.ColorID, sn types.SN) *lruCache {
+	if len(c.stripes) == 1 {
+		return c.stripes[0]
+	}
+	h := uint64(color)*0x9E3779B97F4A7C15 + uint64(sn)
+	h ^= h >> 29
+	return c.stripes[h%uint64(len(c.stripes))]
+}
+
+func (c *stripedCache) get(color types.ColorID, sn types.SN) ([]byte, bool) {
+	return c.stripe(color, sn).get(color, sn)
+}
+
+func (c *stripedCache) put(color types.ColorID, sn types.SN, data []byte) {
+	c.stripe(color, sn).put(color, sn, data)
+}
+
+func (c *stripedCache) drop(color types.ColorID, sn types.SN) {
+	c.stripe(color, sn).drop(color, sn)
+}
+
+func (c *stripedCache) stats() (hits, misses uint64) {
+	for _, s := range c.stripes {
+		h, m := s.stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+func (c *stripedCache) len() int {
+	n := 0
+	for _, s := range c.stripes {
+		n += s.len()
+	}
+	return n
+}

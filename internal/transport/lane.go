@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexlog/internal/simclock"
+	"flexlog/internal/types"
+)
+
+// LaneConfig enables a read-class service lane on an endpoint: inbound
+// messages the classifier accepts are handed to a pool of workers instead
+// of running inline on the single delivery goroutine. Mutation traffic
+// keeps its per-sender FIFO delivery; classified traffic gives that up in
+// exchange for concurrency — safe for FlexLog reads because a read's only
+// ordering obligation is against commits already delivered when the read
+// was dequeued (the delivery loop still dequeues in arrival order).
+//
+// Each lane worker models one extra core of the receiving node: with
+// latency injection enabled the per-message processing cost is paid on the
+// worker, so classified messages overlap where the delivery loop would
+// serialize them.
+type LaneConfig struct {
+	// Workers is the pool size; 0 disables the lane (all traffic inline).
+	Workers int
+	// Classify reports whether a message may be served on the lane.
+	Classify func(Message) bool
+	// QueueCap bounds the lane's buffer; a full queue backpressures the
+	// delivery loop. 0 uses a default of 4096.
+	QueueCap int
+}
+
+// Enabled reports whether the config describes an active lane.
+func (c LaneConfig) Enabled() bool { return c.Workers > 0 && c.Classify != nil }
+
+// LaneStats is a point-in-time snapshot of one endpoint's read lane.
+type LaneStats struct {
+	Enqueued uint64        // messages handed to the lane
+	Dequeued uint64        // messages whose handler finished
+	MaxDepth uint64        // high-water mark of the queue depth
+	Busy     time.Duration // summed wall time workers spent per message
+}
+
+// Depth returns the instantaneous queue depth (including in-service).
+func (s LaneStats) Depth() uint64 { return s.Enqueued - s.Dequeued }
+
+// laneItem is one classified message in flight to a worker.
+type laneItem struct {
+	from      types.NodeID
+	msg       Message
+	deliverAt time.Time
+}
+
+// readLane is the worker pool behind LaneConfig. It is shared by the
+// in-process endpoints (which also charge the modeled per-message cost on
+// the worker) and by the handler wrapper used over custom transports.
+type readLane struct {
+	cfg      LaneConfig
+	handler  Handler
+	procCost time.Duration
+	ch       chan laneItem
+	wg       sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	enqueued atomic.Uint64
+	dequeued atomic.Uint64
+	maxDepth atomic.Uint64
+	busyNs   atomic.Int64
+}
+
+// newReadLane starts the worker pool. procCost is the modeled serial
+// receive cost charged per message when latency injection is enabled
+// (zero over real transports, which pay their cost in actual CPU).
+func newReadLane(cfg LaneConfig, h Handler, procCost time.Duration) *readLane {
+	cap := cfg.QueueCap
+	if cap <= 0 {
+		cap = 4096
+	}
+	l := &readLane{cfg: cfg, handler: h, procCost: procCost, ch: make(chan laneItem, cap)}
+	for i := 0; i < cfg.Workers; i++ {
+		l.wg.Add(1)
+		go l.worker()
+	}
+	return l
+}
+
+// dispatch hands a classified message to the pool, blocking when the
+// queue is full (backpressure on the caller, mirroring a busy core). It
+// reports false once the lane is closed — the caller then handles the
+// message inline (where a stopped node's mode check drops it).
+func (l *readLane) dispatch(from types.NodeID, msg Message, deliverAt time.Time) bool {
+	l.closeMu.RLock()
+	if l.closed {
+		l.closeMu.RUnlock()
+		return false
+	}
+	n := l.enqueued.Add(1)
+	if depth := n - l.dequeued.Load(); depth > 0 {
+		for {
+			cur := l.maxDepth.Load()
+			if depth <= cur || l.maxDepth.CompareAndSwap(cur, depth) {
+				break
+			}
+		}
+	}
+	l.ch <- laneItem{from: from, msg: msg, deliverAt: deliverAt}
+	l.closeMu.RUnlock()
+	return true
+}
+
+func (l *readLane) worker() {
+	defer l.wg.Done()
+	for it := range l.ch {
+		start := time.Now()
+		if !it.deliverAt.IsZero() {
+			simclock.SpinUntil(it.deliverAt)
+			// The receive-side processing cost is paid here, per worker:
+			// this is what the read lane buys — classified messages use
+			// the node's other cores instead of the delivery loop's one.
+			simclock.Spin(l.procCost)
+		}
+		l.handler(it.from, it.msg)
+		l.busyNs.Add(int64(time.Since(start)))
+		l.dequeued.Add(1)
+	}
+}
+
+// close drains the pool; later dispatch calls report false. Idempotent.
+func (l *readLane) close() {
+	l.closeMu.Lock()
+	if l.closed {
+		l.closeMu.Unlock()
+		return
+	}
+	l.closed = true
+	l.closeMu.Unlock()
+	close(l.ch)
+	l.wg.Wait()
+}
+
+func (l *readLane) stats() LaneStats {
+	return LaneStats{
+		Enqueued: l.enqueued.Load(),
+		Dequeued: l.dequeued.Load(),
+		MaxDepth: l.maxDepth.Load(),
+		Busy:     time.Duration(l.busyNs.Load()),
+	}
+}
+
+// WithReadLane wraps a handler so classified messages run on a worker
+// pool — the read-lane building block for endpoints the Network does not
+// manage (e.g. the TCP transport, where the OS already delivers
+// per-connection concurrently but the node wants reads off the mutation
+// path). The returned stop function drains the pool; the returned stats
+// function snapshots lane counters.
+func WithReadLane(h Handler, cfg LaneConfig) (wrapped Handler, stats func() LaneStats, stop func()) {
+	if !cfg.Enabled() {
+		return h, func() LaneStats { return LaneStats{} }, func() {}
+	}
+	l := newReadLane(cfg, h, 0)
+	wrapped = func(from types.NodeID, msg Message) {
+		if cfg.Classify(msg) && l.dispatch(from, msg, time.Time{}) {
+			return
+		}
+		h(from, msg)
+	}
+	return wrapped, l.stats, l.close
+}

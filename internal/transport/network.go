@@ -82,12 +82,27 @@ func NewNetwork(model LinkModel) *Network {
 // Register attaches a node with the given handler and starts its delivery
 // loop. The handler runs on a single goroutine per endpoint.
 func (n *Network) Register(id types.NodeID, h Handler) (Endpoint, error) {
+	return n.RegisterWithLane(id, h, LaneConfig{})
+}
+
+// RegisterWithLane attaches a node whose endpoint splits inbound traffic
+// into two service lanes: messages the lane config classifies (reads,
+// subscribes) run on a pool of lane workers, everything else keeps the
+// single-goroutine FIFO delivery loop. The delivery loop still dequeues
+// in arrival order, so a classified message is only handed to the pool
+// after every earlier mutation has been processed — reads can complete
+// late, never early. With a zero/disabled lane config this is Register.
+func (n *Network) RegisterWithLane(id types.NodeID, h Handler, lane LaneConfig) (Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, dup := n.nodes[id]; dup {
 		return nil, fmt.Errorf("transport: node %v already registered", id)
 	}
 	ep := &inprocEndpoint{net: n, id: id, handler: h}
+	if lane.Enabled() {
+		ep.classify = lane.Classify
+		ep.lane = newReadLane(lane, h, n.model.ProcCost)
+	}
 	ep.cond = sync.NewCond(&ep.qmu)
 	n.nodes[id] = ep
 	go ep.deliveryLoop()
@@ -159,6 +174,32 @@ func (n *Network) NodeDelivered() map[types.NodeID]uint64 {
 	return out
 }
 
+// NodeReadDelivered returns the per-node count of messages delivered via
+// the read lane (a subset of NodeDelivered); nodes without a lane report 0.
+// The lane-aware throughput model uses this split: lane messages share
+// their processing cost across the lane's workers.
+func (n *Network) NodeReadDelivered() map[types.NodeID]uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[types.NodeID]uint64, len(n.nodes))
+	for id, ep := range n.nodes {
+		out[id] = ep.readDelivered.Load()
+	}
+	return out
+}
+
+// LaneStats snapshots the read-lane counters of a node. ok is false when
+// the node is unknown or has no lane.
+func (n *Network) LaneStats(id types.NodeID) (LaneStats, bool) {
+	n.mu.RLock()
+	ep := n.nodes[id]
+	n.mu.RUnlock()
+	if ep == nil || ep.lane == nil {
+		return LaneStats{}, false
+	}
+	return ep.lane.stats(), true
+}
+
 // Model returns the network's link model.
 func (n *Network) Model() LinkModel { return n.model }
 
@@ -178,10 +219,13 @@ func (n *Network) reachable(from, to types.NodeID) bool {
 
 // inprocEndpoint is one node's in-process attachment.
 type inprocEndpoint struct {
-	net       *Network
-	id        types.NodeID
-	handler   Handler
-	delivered atomic.Uint64
+	net           *Network
+	id            types.NodeID
+	handler       Handler
+	classify      func(Message) bool
+	lane          *readLane
+	delivered     atomic.Uint64
+	readDelivered atomic.Uint64
 
 	qmu    sync.Mutex
 	cond   *sync.Cond
@@ -242,8 +286,13 @@ func (e *inprocEndpoint) Close() error {
 
 // deliveryLoop pops envelopes in arrival order, waits out each one's
 // delivery deadline (pipelined: deadlines were stamped at send time), and
-// invokes the handler.
+// invokes the handler. Read-class envelopes are handed to the lane pool
+// instead: the lane worker pays the delivery deadline and processing cost,
+// so classified messages overlap while mutations stay serial.
 func (e *inprocEndpoint) deliveryLoop() {
+	if e.lane != nil {
+		defer e.lane.close()
+	}
 	for {
 		e.qmu.Lock()
 		for len(e.queue) == 0 && !e.closed {
@@ -257,6 +306,12 @@ func (e *inprocEndpoint) deliveryLoop() {
 		e.queue = e.queue[1:]
 		e.qmu.Unlock()
 
+		if e.lane != nil && e.classify(env.msg) && e.lane.dispatch(env.from, env.msg, env.deliverAt) {
+			e.net.delivered.Add(1)
+			e.delivered.Add(1)
+			e.readDelivered.Add(1)
+			continue
+		}
 		if !env.deliverAt.IsZero() {
 			simclock.SpinUntil(env.deliverAt)
 			// Serial receive-side processing: unlike the propagation

@@ -137,8 +137,11 @@ func TestProfileGzipShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Paper: 48.1%. The compute side is measured in real time, so the share
+	// drifts up on hosts that compress faster; keep the band wide enough
+	// for that while still requiring compute to be visible at all.
 	pct := rep.StoragePercent()
-	if pct < 15 || pct > 80 {
+	if pct < 15 || pct > 90 {
 		t.Fatalf("gzip storage share = %.1f%%, outside the Table-1 regime", pct)
 	}
 	// Gzip writes compressed output: write time must be nonzero.
