@@ -1,13 +1,14 @@
 # Tier-1 verification recipe. `make verify` is what CI (and the roadmap's
-# acceptance gate) runs: build, full test suite, vet, and a race-detector
+# acceptance gate) runs: build, full test suite, vet, a race-detector
 # pass over the concurrency-heavy packages (client batching layer and
-# replica protocol).
+# replica protocol), and a short seeded chaos soak under -race checked by
+# the linearizability history oracle.
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-smoke
+.PHONY: verify build test vet race bench bench-smoke chaos-smoke chaos-soak
 
-verify: build test vet race
+verify: build test vet race chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,16 @@ vet:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/replica/... ./internal/transport/... ./internal/storage/...
+
+# Short seeded chaos soak (drop/dup/reorder/jitter + replica crashes +
+# leader kills) under -race; a failure prints the seed and the nemesis
+# schedule to replay it (FLEXLOG_CHAOS_SEED=<seed>).
+chaos-smoke:
+	$(GO) test -race -short -count=1 -run 'TestChaosSoakShort|TestScheduleDeterminism' ./internal/chaos/
+
+# Full ≥30s acceptance soak (see EXPERIMENTS.md "chaos soak").
+chaos-soak:
+	FLEXLOG_CHAOS_SOAK=1 $(GO) test -race -count=1 -timeout 300s -run 'TestChaosSoak$$' -v ./internal/chaos/
 
 bench:
 	$(GO) run ./cmd/flexlog-bench -quick all

@@ -4,11 +4,12 @@
 // Usage:
 //
 //	flexlog-bench -list
-//	flexlog-bench [-quick] [-duration 2s] [-cpuprofile f] [-memprofile f] <experiment-id>... | all
+//	flexlog-bench [-quick] [-chaos] [-duration 2s] [-cpuprofile f] [-memprofile f] <experiment-id>... | all
 //
 // Experiment ids: table1, fig1, fig4lat, fig4thr, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, ablate-batch, ablate-cache, ablate-readhold,
-// ablate-clientbatch, ablate-readpath, ext-burst.
+// ablate-clientbatch, ablate-readpath, ext-burst, chaos (also runnable
+// via -chaos).
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	chaosRun := flag.Bool("chaos", false, "run the seeded chaos soak (availability per nemesis); shorthand for the 'chaos' experiment id")
 	quick := flag.Bool("quick", false, "shrink sweeps and durations (CI mode)")
 	duration := flag.Duration("duration", 0, "measurement window per point (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -37,8 +39,11 @@ func main() {
 		return
 	}
 	args := flag.Args()
+	if *chaosRun {
+		args = append(args, "chaos")
+	}
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: flexlog-bench [-quick] <experiment-id>... | all   (see -list)")
+		fmt.Fprintln(os.Stderr, "usage: flexlog-bench [-quick] [-chaos] <experiment-id>... | all   (see -list)")
 		os.Exit(2)
 	}
 

@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"flexlog/internal/core"
+	"flexlog/internal/replica"
+	"flexlog/internal/seq"
+	"flexlog/internal/types"
+)
+
+// Engine plays a Schedule against a live cluster. The schedule names
+// regions, not leader node ids: which sequencer a kill-leader event hits
+// is resolved at apply time (it may be a backup that won an earlier
+// failover), and the resolution is recorded in Applied for replay logs.
+type Engine struct {
+	cl    *core.Cluster
+	sched Schedule
+
+	mu      sync.Mutex
+	killed  map[types.ColorID]types.NodeID // leader killed, awaiting restart
+	applied []string
+}
+
+// NewEngine binds a schedule to a cluster.
+func NewEngine(cl *core.Cluster, sched Schedule) *Engine {
+	return &Engine{
+		cl:     cl,
+		sched:  sched,
+		killed: make(map[types.ColorID]types.NodeID),
+	}
+}
+
+// Run applies the schedule in real time, starting now. It returns when
+// the last event fired or the context was cancelled. The network's fault
+// rng is seeded from the schedule so drop/dup/reorder decisions replay
+// with the schedule.
+func (e *Engine) Run(ctx context.Context) {
+	e.cl.Network().SetFaultSeed(e.sched.Seed)
+	start := time.Now()
+	for _, ev := range e.sched.Events {
+		if wait := ev.At - time.Since(start); wait > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		e.apply(ev)
+	}
+}
+
+func (e *Engine) apply(ev Event) {
+	net := e.cl.Network()
+	switch ev.Kind {
+	case EvSetFaults:
+		net.SetDefaultFaults(ev.Fault)
+	case EvClearFaults:
+		net.ClearFaults()
+	case EvCrashReplica:
+		r := e.cl.Replica(ev.Node)
+		if r == nil {
+			e.note(ev, "skipped: unknown replica")
+			return
+		}
+		r.Crash()
+		net.Isolate(ev.Node)
+	case EvRecoverReplica:
+		net.Rejoin(ev.Node)
+		if r := e.cl.Replica(ev.Node); r != nil {
+			if err := r.Recover(); err != nil {
+				e.note(ev, fmt.Sprintf("recover failed: %v", err))
+				return
+			}
+		}
+	case EvKillLeader:
+		e.mu.Lock()
+		_, pending := e.killed[ev.Color]
+		e.mu.Unlock()
+		if pending {
+			e.note(ev, "skipped: previous leader kill not yet restarted")
+			return
+		}
+		s := e.cl.LeaderOf(ev.Color)
+		if s == nil {
+			e.note(ev, "skipped: no serving leader")
+			return
+		}
+		id := s.ID()
+		e.mu.Lock()
+		e.killed[ev.Color] = id
+		e.mu.Unlock()
+		s.Crash()
+		net.Isolate(id)
+		e.note(ev, fmt.Sprintf("node=%d", id))
+		return
+	case EvRestartLeader:
+		e.mu.Lock()
+		id, ok := e.killed[ev.Color]
+		delete(e.killed, ev.Color)
+		e.mu.Unlock()
+		if !ok {
+			e.note(ev, "skipped: nothing to restart")
+			return
+		}
+		net.Rejoin(id)
+		if err := e.cl.RestartSequencer(id); err != nil {
+			e.note(ev, fmt.Sprintf("restart failed: %v", err))
+			return
+		}
+		e.note(ev, fmt.Sprintf("node=%d", id))
+		return
+	case EvPartition:
+		net.Partition(ev.A, ev.B)
+	case EvHeal:
+		net.Heal(ev.A, ev.B)
+	}
+	e.note(ev, "")
+}
+
+func (e *Engine) note(ev Event, extra string) {
+	line := ev.String()
+	if extra != "" {
+		line += " (" + extra + ")"
+	}
+	e.mu.Lock()
+	e.applied = append(e.applied, line)
+	e.mu.Unlock()
+}
+
+// Applied returns the resolved nemesis log: the events actually applied,
+// with runtime resolutions (which node a leader kill hit) and skips.
+func (e *Engine) Applied() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.applied...)
+}
+
+// HealAndRecover ends the chaos: it clears every fault model, heals all
+// partitions, restarts any still-killed sequencers, recovers any
+// still-crashed replicas, and waits until every replica is operational
+// and every listed region has a serving leader again. The returned error
+// carries what was still unhealthy at the deadline.
+func (e *Engine) HealAndRecover(replicas []types.NodeID, colors []types.ColorID, timeout time.Duration) error {
+	net := e.cl.Network()
+	net.ClearFaults()
+	net.HealAll()
+
+	e.mu.Lock()
+	killed := e.killed
+	e.killed = make(map[types.ColorID]types.NodeID)
+	e.mu.Unlock()
+	for _, id := range killed {
+		net.Rejoin(id)
+		if err := e.cl.RestartSequencer(id); err != nil {
+			return fmt.Errorf("chaos: restarting sequencer %d: %w", id, err)
+		}
+	}
+	for _, id := range replicas {
+		r := e.cl.Replica(id)
+		if r == nil {
+			continue
+		}
+		if r.Mode() == replica.ModeCrashed {
+			net.Rejoin(id)
+			if err := r.Recover(); err != nil {
+				return fmt.Errorf("chaos: recovering replica %d: %w", id, err)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(timeout)
+	for {
+		unhealthy := e.unhealthy(replicas, colors)
+		if unhealthy == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: cluster did not quiesce within %s: %s", timeout, unhealthy)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// unhealthy reports the first non-quiesced component, or "".
+func (e *Engine) unhealthy(replicas []types.NodeID, colors []types.ColorID) string {
+	for _, id := range replicas {
+		r := e.cl.Replica(id)
+		if r == nil {
+			continue
+		}
+		if m := r.Mode(); m != replica.ModeOperational {
+			return fmt.Sprintf("replica %d mode=%v", id, m)
+		}
+	}
+	for _, c := range colors {
+		s := e.cl.LeaderOf(c)
+		if s == nil {
+			return fmt.Sprintf("color %d has no leader", c)
+		}
+		if s.Role() != seq.RoleLeader || !s.Serving() {
+			return fmt.Sprintf("color %d leader %d role=%v serving=%v", c, s.ID(), s.Role(), s.Serving())
+		}
+	}
+	return ""
+}

@@ -1,0 +1,219 @@
+// Package chaos is the deterministic nemesis harness: it generates a
+// timed schedule of faults (lossy links, replica crashes, sequencer
+// leader kills, partitions) from a single seed, applies it to a live
+// in-process core.Cluster while a recorded workload runs, and hands the
+// resulting history to the histcheck oracle. The same seed always yields
+// the same schedule, so any failing soak is replayable bit-for-bit.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"flexlog/internal/transport"
+	"flexlog/internal/types"
+)
+
+// EventKind labels one nemesis action.
+type EventKind uint8
+
+// Nemesis actions.
+const (
+	// EvSetFaults installs a network-wide default fault model (drops,
+	// duplicates, reorders, jitter) on every link.
+	EvSetFaults EventKind = iota
+	// EvClearFaults removes all fault models.
+	EvClearFaults
+	// EvCrashReplica crash-stops replica Node and isolates it.
+	EvCrashReplica
+	// EvRecoverReplica rejoins and recovers replica Node (triggering the
+	// §6.3 sync-phase).
+	EvRecoverReplica
+	// EvKillLeader crash-stops the currently-serving sequencer leader of
+	// region Color and isolates it (§5.2 failover).
+	EvKillLeader
+	// EvRestartLeader rejoins the killed sequencer of region Color as a
+	// fresh backup process (group repair).
+	EvRestartLeader
+	// EvPartition cuts the bidirectional link between nodes A and B.
+	EvPartition
+	// EvHeal restores the link between nodes A and B.
+	EvHeal
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSetFaults:
+		return "set-faults"
+	case EvClearFaults:
+		return "clear-faults"
+	case EvCrashReplica:
+		return "crash-replica"
+	case EvRecoverReplica:
+		return "recover-replica"
+	case EvKillLeader:
+		return "kill-leader"
+	case EvRestartLeader:
+		return "restart-leader"
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal"
+	}
+	return "unknown"
+}
+
+// Event is one scheduled nemesis action at offset At from run start.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+
+	Node  types.NodeID         // CrashReplica / RecoverReplica target
+	Color types.ColorID        // KillLeader / RestartLeader region
+	A, B  types.NodeID         // Partition / Heal endpoints
+	Fault transport.FaultModel // SetFaults model
+}
+
+func (e Event) String() string {
+	at := e.At.Round(time.Millisecond)
+	switch e.Kind {
+	case EvSetFaults:
+		return fmt.Sprintf("%7s %s %s", at, e.Kind, e.Fault)
+	case EvCrashReplica, EvRecoverReplica:
+		return fmt.Sprintf("%7s %s node=%d", at, e.Kind, e.Node)
+	case EvKillLeader, EvRestartLeader:
+		return fmt.Sprintf("%7s %s color=%d", at, e.Kind, e.Color)
+	case EvPartition, EvHeal:
+		return fmt.Sprintf("%7s %s %d<->%d", at, e.Kind, e.A, e.B)
+	}
+	return fmt.Sprintf("%7s %s", at, e.Kind)
+}
+
+// Schedule is a fully materialized nemesis plan: every action and its
+// time offset, derived deterministically from Seed.
+type Schedule struct {
+	Seed     int64
+	Duration time.Duration
+	Events   []Event // sorted by At
+}
+
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos schedule: seed=%d duration=%s events=%d\n",
+		s.Seed, s.Duration, len(s.Events))
+	for _, e := range s.Events {
+		b.WriteString("  " + e.String() + "\n")
+	}
+	return b.String()
+}
+
+// GenConfig bounds schedule generation.
+type GenConfig struct {
+	// Duration is the soak length the schedule spans.
+	Duration time.Duration
+	// Replicas are the crashable replica node ids.
+	Replicas []types.NodeID
+	// Colors are the regions whose sequencer leaders may be killed.
+	Colors []types.ColorID
+}
+
+// Generate derives a schedule from the seed. Same seed and config in,
+// same schedule out — that is the replay contract.
+//
+// Shape: two lossy-link windows (the first with drops, duplicates and
+// jitter; the second adding reorders) overlap a serialized sequence of
+// structural nemeses (replica crash/recover, leader kill/restart,
+// two-node partition blips). Structural events never overlap each other:
+// an append needs ALL shard replicas and a new leader needs SeqInit acks
+// from ALL region replicas, so two concurrent structural faults could
+// stall a region for the whole window rather than exercise recovery.
+func Generate(seed int64, cfg GenConfig) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	d := cfg.Duration
+	var evs []Event
+
+	frac := func(f float64) time.Duration {
+		return time.Duration(float64(d) * f)
+	}
+	ms := func(lo, hi int) time.Duration {
+		return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Millisecond
+	}
+	prob := func(lo, hi float64) float64 {
+		return lo + rng.Float64()*(hi-lo)
+	}
+
+	// Lossy-link windows. Probabilities are drawn low enough that
+	// retry-driven protocols converge between structural faults.
+	w1 := transport.FaultModel{
+		DropProb:  prob(0.005, 0.025),
+		DupProb:   prob(0.005, 0.025),
+		JitterMax: time.Duration(50+rng.Intn(251)) * time.Microsecond,
+	}
+	evs = append(evs,
+		Event{At: frac(0.08), Kind: EvSetFaults, Fault: w1},
+		Event{At: frac(0.42), Kind: EvClearFaults},
+	)
+	w2 := transport.FaultModel{
+		DropProb:    prob(0.005, 0.025),
+		DupProb:     prob(0.005, 0.025),
+		ReorderProb: prob(0.01, 0.05),
+		JitterMax:   time.Duration(50+rng.Intn(251)) * time.Microsecond,
+	}
+	evs = append(evs,
+		Event{At: frac(0.52), Kind: EvSetFaults, Fault: w2},
+		Event{At: frac(0.92), Kind: EvClearFaults},
+	)
+
+	// Serialized structural slots.
+	cursor := frac(0.10)
+	limit := frac(0.85)
+	for cursor < limit {
+		roll := rng.Float64()
+		switch {
+		case roll < 0.55 && len(cfg.Replicas) > 0:
+			node := cfg.Replicas[rng.Intn(len(cfg.Replicas))]
+			down := ms(30, 90)
+			evs = append(evs,
+				Event{At: cursor, Kind: EvCrashReplica, Node: node},
+				Event{At: cursor + down, Kind: EvRecoverReplica, Node: node},
+			)
+			cursor += down
+		case roll < 0.80 && len(cfg.Colors) > 0:
+			color := cfg.Colors[rng.Intn(len(cfg.Colors))]
+			down := ms(160, 280)
+			evs = append(evs,
+				Event{At: cursor, Kind: EvKillLeader, Color: color},
+				Event{At: cursor + down, Kind: EvRestartLeader, Color: color},
+			)
+			cursor += down
+		case len(cfg.Replicas) >= 2:
+			i := rng.Intn(len(cfg.Replicas))
+			j := rng.Intn(len(cfg.Replicas) - 1)
+			if j >= i {
+				j++
+			}
+			a, b := cfg.Replicas[i], cfg.Replicas[j]
+			down := ms(20, 50)
+			evs = append(evs,
+				Event{At: cursor, Kind: EvPartition, A: a, B: b},
+				Event{At: cursor + down, Kind: EvHeal, A: a, B: b},
+			)
+			cursor += down
+		}
+		cursor += ms(150, 400)
+	}
+
+	sortEvents(evs)
+	return Schedule{Seed: seed, Duration: d, Events: evs}
+}
+
+// sortEvents orders by At, stably (pairs generated in order stay paired).
+func sortEvents(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].At < evs[j-1].At; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff paces the client's re-broadcast loops: a capped exponential
+// envelope with full jitter. Attempt n waits uniformly in
+// [base/2, min(cap, base·2^n)] — the jitter decorrelates the retry storms
+// of many clients hammering a recovering shard in lockstep, the cap keeps
+// a long outage probed every few intervals rather than minutes apart, and
+// the base/2 floor keeps each wait a meaningful response window (the same
+// timer doubles as the ack wait in every retry loop).
+type backoff struct {
+	base time.Duration
+	cap  time.Duration
+	env  time.Duration // current envelope: min(cap, base·2^attempt)
+	rng  *rand.Rand
+}
+
+// backoffCapFactor bounds the envelope at this multiple of the base
+// retry interval.
+const backoffCapFactor = 16
+
+// newBackoff derives a per-operation backoff from the client's seeded
+// rng: pacing is reproducible for a fixed client seed, yet decorrelated
+// across concurrent operations of the same client.
+func (c *Client) newBackoff() *backoff {
+	c.mu.Lock()
+	seed := c.rng.Int63()
+	c.mu.Unlock()
+	return newBackoff(c.cfg.RetryInterval, seed)
+}
+
+func newBackoff(base time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	return &backoff{
+		base: base,
+		cap:  backoffCapFactor * base,
+		env:  base,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// next returns the wait before the following re-broadcast and widens the
+// envelope for the attempt after it.
+func (b *backoff) next() time.Duration {
+	floor := b.base / 2
+	wait := floor + time.Duration(b.rng.Int63n(int64(b.env-floor)+1))
+	if b.env < b.cap {
+		b.env *= 2
+		if b.env > b.cap {
+			b.env = b.cap
+		}
+	}
+	return wait
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffEnvelope(t *testing.T) {
+	base := 50 * time.Millisecond
+	bo := newBackoff(base, 1)
+	env := base
+	for i := 0; i < 40; i++ {
+		wait := bo.next()
+		if wait < base/2 {
+			t.Fatalf("attempt %d: wait %s below the %s floor", i, wait, base/2)
+		}
+		if wait > env {
+			t.Fatalf("attempt %d: wait %s above the %s envelope", i, wait, env)
+		}
+		if env < backoffCapFactor*base {
+			env *= 2
+			if env > backoffCapFactor*base {
+				env = backoffCapFactor * base
+			}
+		}
+	}
+	if max := backoffCapFactor * base; bo.env != max {
+		t.Fatalf("envelope %s did not converge to the cap %s", bo.env, max)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a, b := newBackoff(time.Millisecond, 7), newBackoff(time.Millisecond, 7)
+	for i := 0; i < 20; i++ {
+		if wa, wb := a.next(), b.next(); wa != wb {
+			t.Fatalf("attempt %d: same seed diverged: %s vs %s", i, wa, wb)
+		}
+	}
+	c, d := newBackoff(time.Millisecond, 7), newBackoff(time.Millisecond, 8)
+	same := true
+	for i := 0; i < 20; i++ {
+		if c.next() != d.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestBackoffDefaultsBase(t *testing.T) {
+	bo := newBackoff(0, 1)
+	if bo.base != 50*time.Millisecond {
+		t.Fatalf("zero base not defaulted: %s", bo.base)
+	}
+}

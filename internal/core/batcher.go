@@ -350,12 +350,13 @@ func (b *shardBatcher) await(token types.Token, w *appendWait, req proto.AppendB
 		<-b.slots
 	}()
 	deadline := time.Now().Add(c.cfg.Timeout)
+	bo := c.newBackoff()
 	for {
 		select {
 		case <-w.done:
 			b.complete(items, recs, w.sn)
 			return
-		case <-time.After(c.cfg.RetryInterval):
+		case <-time.After(bo.next()):
 			if time.Now().After(deadline) {
 				b.fail(items, fmt.Errorf("%w: batched append %v to %v", ErrTimeout, token, b.color))
 				return

@@ -119,7 +119,8 @@ type appendWait struct {
 }
 
 type readWait struct {
-	waiting int // shards that have not answered
+	waiting int                   // shards that have not answered
+	seen    map[types.NodeID]bool // responders counted (dup-delivery safe)
 	data    []byte
 	found   bool
 	done    chan struct{}
@@ -128,6 +129,7 @@ type readWait struct {
 
 type subWait struct {
 	waiting int
+	seen    map[types.NodeID]bool
 	records []proto.WireRecord
 	done    chan struct{}
 	closed  bool
@@ -135,6 +137,7 @@ type subWait struct {
 
 type trimWaitC struct {
 	waiting int
+	seen    map[types.NodeID]bool
 	head    types.SN
 	tail    types.SN
 	done    chan struct{}
@@ -254,12 +257,15 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 	case proto.AppendAck:
 		c.mu.Lock()
 		w := c.appends[m.Token]
-		if w != nil {
+		// The closed guard covers every mutation, not just the close: a
+		// duplicated ack (lossy-link DupProb) arriving after completion
+		// must not touch w.sn while the waiter is reading it.
+		if w != nil && !w.closed {
 			delete(w.needed, from)
 			if m.SN.Valid() {
 				w.sn = m.SN
 			}
-			if len(w.needed) == 0 && !w.closed {
+			if len(w.needed) == 0 {
 				w.closed = true
 				close(w.done)
 			}
@@ -268,7 +274,11 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 	case proto.ReadResp:
 		c.mu.Lock()
 		w := c.reads[m.ID]
-		if w != nil && !w.closed {
+		// Count each responder once: a duplicated response must not
+		// double-decrement waiting, or an all-⊥ round could complete with
+		// a shard still unanswered and report a spurious ⊥.
+		if w != nil && !w.closed && !w.seen[from] {
+			w.seen[from] = true
 			w.waiting--
 			if m.Found {
 				w.data, w.found = m.Data, true
@@ -283,7 +293,8 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 	case proto.SubscribeResp:
 		c.mu.Lock()
 		w := c.subs[m.ID]
-		if w != nil && !w.closed {
+		if w != nil && !w.closed && !w.seen[from] {
+			w.seen[from] = true
 			w.waiting--
 			w.records = append(w.records, m.Records...)
 			if w.waiting <= 0 {
@@ -295,7 +306,8 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 	case proto.TrimAck:
 		c.mu.Lock()
 		w := c.trims[m.ID]
-		if w != nil && !w.closed {
+		if w != nil && !w.closed && !w.seen[from] {
+			w.seen[from] = true
 			w.waiting--
 			// Replicas report their local bounds; the color's global head
 			// is the smallest surviving SN, the tail the largest.
@@ -409,6 +421,7 @@ func (c *Client) appendToShard(ctx context.Context, records [][]byte, color type
 
 	req := proto.AppendReq{Color: color, Token: token, Records: records, Client: c.cfg.ID}
 	deadline := time.Now().Add(c.cfg.Timeout)
+	bo := c.newBackoff()
 	for {
 		c.ep.Broadcast(shard.Replicas, req)
 		select {
@@ -416,7 +429,7 @@ func (c *Client) appendToShard(ctx context.Context, records [][]byte, color type
 			return w.sn, token, nil
 		case <-ctx.Done():
 			return types.InvalidSN, token, ctx.Err()
-		case <-time.After(c.cfg.RetryInterval):
+		case <-time.After(bo.next()):
 			if time.Now().After(deadline) {
 				return types.InvalidSN, token, fmt.Errorf("%w: append %v to %v", ErrTimeout, token, color)
 			}
@@ -444,14 +457,15 @@ func (c *Client) ReadCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 	// (stale hint, trimmed record) falls back to the full protocol.
 	if shardID, ok := c.placement(color, sn); ok {
 		if sh, err := c.topo.Shard(shardID); err == nil {
-			if data, err := c.readOnce(ctx, sn, color, []topology.ShardInfo{sh}); err == nil {
+			if data, err := c.readOnce(ctx, sn, color, []topology.ShardInfo{sh}, c.cfg.RetryInterval); err == nil {
 				return data, nil
 			}
 		}
 	}
 	deadline := time.Now().Add(c.cfg.Timeout)
+	bo := c.newBackoff()
 	for {
-		data, err := c.readOnce(ctx, sn, color, shards)
+		data, err := c.readOnce(ctx, sn, color, shards, bo.next())
 		if err == nil {
 			return data, nil
 		}
@@ -468,10 +482,10 @@ func (c *Client) ReadCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 
 // readOnce runs one round of the read protocol against one replica of each
 // given shard. It returns ErrNotFound when every shard answered ⊥ and
-// ErrTimeout when some shard did not answer within the retry interval.
-func (c *Client) readOnce(ctx context.Context, sn types.SN, color types.ColorID, shards []topology.ShardInfo) ([]byte, error) {
+// ErrTimeout when some shard did not answer within the given window.
+func (c *Client) readOnce(ctx context.Context, sn types.SN, color types.ColorID, shards []topology.ShardInfo, window time.Duration) ([]byte, error) {
 	id := c.reqSeq.Add(1)
-	w := &readWait{waiting: len(shards), done: make(chan struct{})}
+	w := &readWait{waiting: len(shards), seen: make(map[types.NodeID]bool, len(shards)), done: make(chan struct{})}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -494,7 +508,7 @@ func (c *Client) readOnce(ctx context.Context, sn types.SN, color types.ColorID,
 	case <-w.done:
 	case <-ctx.Done():
 		ctxErr = ctx.Err()
-	case <-time.After(c.cfg.RetryInterval):
+	case <-time.After(window):
 		timedOut = true
 	}
 	c.mu.Lock()
@@ -526,9 +540,10 @@ func (c *Client) Subscribe(color types.ColorID, from types.SN) ([]types.Record, 
 		return nil, fmt.Errorf("flexlog: no shards for %v", color)
 	}
 	deadline := time.Now().Add(c.cfg.Timeout)
+	bo := c.newBackoff()
 	for {
 		id := c.reqSeq.Add(1)
-		w := &subWait{waiting: len(shards), done: make(chan struct{})}
+		w := &subWait{waiting: len(shards), seen: make(map[types.NodeID]bool, len(shards)), done: make(chan struct{})}
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
@@ -549,7 +564,7 @@ func (c *Client) Subscribe(color types.ColorID, from types.SN) ([]types.Record, 
 		select {
 		case <-w.done:
 			ok = true
-		case <-time.After(c.cfg.RetryInterval):
+		case <-time.After(bo.next()):
 		}
 		c.mu.Lock()
 		if !w.closed {
@@ -629,7 +644,7 @@ func (c *Client) TrimCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 		return 0, 0, opError("trim", color, sn, fmt.Errorf("no replicas"))
 	}
 	id := c.reqSeq.Add(1)
-	w := &trimWaitC{waiting: len(replicas), done: make(chan struct{})}
+	w := &trimWaitC{waiting: len(replicas), seen: make(map[types.NodeID]bool, len(replicas)), done: make(chan struct{})}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -645,6 +660,7 @@ func (c *Client) TrimCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 
 	req := proto.TrimReq{ID: id, Color: color, SN: sn, Client: c.cfg.ID}
 	deadline := time.Now().Add(c.cfg.Timeout)
+	bo := c.newBackoff()
 	for {
 		c.ep.Broadcast(replicas, req)
 		select {
@@ -652,7 +668,7 @@ func (c *Client) TrimCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 			return w.head, w.tail, nil
 		case <-ctx.Done():
 			return 0, 0, opError("trim", color, sn, ctx.Err())
-		case <-time.After(c.cfg.RetryInterval):
+		case <-time.After(bo.next()):
 			if time.Now().After(deadline) {
 				return 0, 0, opError("trim", color, sn, fmt.Errorf("%w: trim %v of %v", ErrTimeout, sn, color))
 			}
@@ -720,6 +736,7 @@ func (c *Client) MultiAppendCtx(ctx context.Context, sets [][][]byte, colors []t
 
 	endMsg := proto.MultiAppendEnd{ID: id, FID: c.cfg.FID, Tokens: tokens, Client: c.cfg.ID}
 	deadline := time.Now().Add(c.cfg.Timeout)
+	bo := c.newBackoff()
 	for {
 		c.ep.Broadcast(shard.Replicas, endMsg)
 		select {
@@ -727,7 +744,7 @@ func (c *Client) MultiAppendCtx(ctx context.Context, sets [][][]byte, colors []t
 			return nil
 		case <-ctx.Done():
 			return opError("multi-append", special, types.InvalidSN, ctx.Err())
-		case <-time.After(c.cfg.RetryInterval):
+		case <-time.After(bo.next()):
 			if time.Now().After(deadline) {
 				return opError("multi-append", special, types.InvalidSN, fmt.Errorf("%w: multi-append", ErrTimeout))
 			}

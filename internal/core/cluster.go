@@ -300,6 +300,42 @@ func (cl *Cluster) Sequencer(id types.NodeID) *seq.Sequencer {
 	return cl.seqs[id]
 }
 
+// RestartSequencer replaces a crashed sequencer process with a fresh
+// backup on the same node id: the old endpoint is torn down and a new
+// node joins the group with empty state, as a restarted process would.
+// The chaos engine pairs this with Sequencer.Crash to exercise §5.2
+// leader failover followed by group repair.
+func (cl *Cluster) RestartSequencer(id types.NodeID) error {
+	cl.mu.Lock()
+	old := cl.seqs[id]
+	cl.mu.Unlock()
+	if old == nil {
+		return fmt.Errorf("core: unknown sequencer %v", id)
+	}
+	old.Stop()
+	cl.net.Deregister(id)
+	scfg := seq.DefaultConfig()
+	scfg.ID = id
+	scfg.Region = old.Region()
+	scfg.Topo = cl.topo
+	scfg.BatchInterval = cl.cfg.BatchInterval
+	scfg.HeartbeatInterval = cl.cfg.HeartbeatInterval
+	scfg.FailureTimeout = cl.cfg.FailureTimeout
+	scfg.RetryTimeout = cl.cfg.RetryTimeout
+	scfg.StartAsLeader = false
+	// Rejoin at the epoch the group has reached so the fresh process does
+	// not grant stale claims from before its crash.
+	scfg.InitialEpoch = old.Epoch()
+	s, err := seq.New(scfg, cl.net)
+	if err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	cl.seqs[id] = s
+	cl.mu.Unlock()
+	return nil
+}
+
 // LeaderOf returns the currently-serving leader sequencer of a color.
 func (cl *Cluster) LeaderOf(color types.ColorID) *seq.Sequencer {
 	leader, err := cl.topo.Leader(color)

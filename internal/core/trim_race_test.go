@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"flexlog/internal/replica"
+	"flexlog/internal/types"
+)
+
+// TestRecoveryConvergesWithConcurrentTrim races a replica's crash/recovery
+// sync-phase against a trim of the same color: the recovered replica must
+// converge on the trimmed frontier — it must neither resurrect trimmed
+// records (its sync fetch skips SNs at or below the frontier) nor lose
+// acked ones above it.
+func TestRecoveryConvergesWithConcurrentTrim(t *testing.T) {
+	cl, c := newSimpleNoFailover(t, 1)
+	sh, err := cl.Topology().Shard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 40
+	sns := make([]types.SN, n)
+	payloads := make(map[types.SN]string, n)
+	for i := 0; i < n; i++ {
+		payload := fmt.Sprintf("tr-%03d", i)
+		sn, err := c.Append([][]byte{[]byte(payload)}, types.MasterColor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sns[i] = sn
+		payloads[sn] = payload
+	}
+	frontier := sns[n/2]
+
+	victim := cl.Replica(sh.Replicas[0])
+	victim.Crash()
+	cl.Network().Isolate(victim.ID())
+
+	// Fire the trim while the victim is down, then recover concurrently:
+	// the trim barrier needs ALL region replicas, so it completes only
+	// during (or after) the victim's sync-phase — the exact race under test.
+	trimDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Trim(frontier, types.MasterColor)
+		trimDone <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the trim reach the live replicas
+	cl.Network().Rejoin(victim.ID())
+	if err := victim.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-trimDone; err != nil {
+		t.Fatalf("trim racing recovery failed: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for victim.Mode() != replica.ModeOperational {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim stuck in mode %v", victim.Mode())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The recovered replica's own storage must reflect the frontier.
+	st := victim.Store()
+	if got := st.Trimmed(types.MasterColor); got < frontier {
+		t.Fatalf("recovered replica trim frontier %v, want >= %v", got, frontier)
+	}
+	for _, sn := range sns {
+		data, err := st.Get(types.MasterColor, sn)
+		if sn <= frontier {
+			if err == nil {
+				t.Fatalf("recovered replica resurrected trimmed SN %v", sn)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("recovered replica lost acked SN %v: %v", sn, err)
+		}
+		if string(data) != payloads[sn] {
+			t.Fatalf("SN %v holds %q, want %q", sn, data, payloads[sn])
+		}
+	}
+
+	// And the cluster-level read view agrees: trimmed SNs read ⊥,
+	// surviving SNs read their payloads.
+	for _, sn := range sns {
+		data, err := c.Read(sn, types.MasterColor)
+		if sn <= frontier {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("read of trimmed SN %v: got (%q, %v), want ErrNotFound", sn, data, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("read of surviving SN %v: %v", sn, err)
+		}
+		if string(data) != payloads[sn] {
+			t.Fatalf("read of SN %v returned %q, want %q", sn, data, payloads[sn])
+		}
+	}
+}

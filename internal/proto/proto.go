@@ -206,10 +206,16 @@ type EpochGrant struct {
 }
 
 // EpochReject refuses a claim, telling the claimant the higher epoch or
-// higher-id claimant it lost to.
+// higher-id claimant it lost to. LeaderAlive marks a stickiness
+// rejection: the rejector has recent evidence the current leader is
+// alive (its own heartbeats, or acks from a live majority), so the claim
+// looks like lost heartbeats rather than a dead leader. The claimant
+// must abandon WITHOUT adopting Epoch — adopting would make it ignore
+// the healthy leader's (lower-epoch) heartbeats and claim forever.
 type EpochReject struct {
-	Epoch    types.Epoch  // the rejecting node's current epoch
-	Claimant types.NodeID // the claimant the rejector prefers
+	Epoch       types.Epoch  // the rejecting node's current epoch
+	Claimant    types.NodeID // the claimant the rejector prefers
+	LeaderAlive bool         // rejector recently heard a live leader
 }
 
 // SeqInit is the new sequencer's initialization request to all replicas of
@@ -242,12 +248,13 @@ type SyncRequest struct {
 }
 
 // SyncState is a peer's reply: its known sequencer epoch and, per color,
-// its maximum committed SN.
+// its maximum committed SN and trim frontier.
 type SyncState struct {
-	ID     uint64
-	Epoch  types.Epoch
-	MaxSNs map[types.ColorID]types.SN
-	From   types.NodeID
+	ID      uint64
+	Epoch   types.Epoch
+	MaxSNs  map[types.ColorID]types.SN
+	Trimmed map[types.ColorID]types.SN
+	From    types.NodeID
 }
 
 // SyncFetch asks the most up-to-date replica for records the requester is
@@ -271,8 +278,12 @@ type SyncCatchup struct {
 	ID       uint64
 	UpToDate types.NodeID
 	Max      map[types.ColorID]types.SN
-	Epoch    types.Epoch
-	From     types.NodeID
+	// Trimmed carries the shard's maximum trim frontier per color: a
+	// recovering replica applies it before serving so records garbage-
+	// collected during its downtime are never resurrected (§6.2 + §6.3).
+	Trimmed map[types.ColorID]types.SN
+	Epoch   types.Epoch
+	From    types.NodeID
 }
 
 // SyncDone is the all-to-all barrier message ending the sync-phase: a

@@ -129,6 +129,8 @@ type Stats struct {
 	Trims        uint64
 	OReqRetries  uint64
 	Syncs        uint64
+	SyncRetries  uint64 // stalled sync-phase stages re-driven (lossy links)
+	SyncAborts   uint64 // wedged sync runs abandoned (peer crashed mid-run)
 	Replays      uint64 // multi-append record sets replayed
 }
 
@@ -147,6 +149,8 @@ type counters struct {
 	trims        atomic.Uint64
 	oreqRetries  atomic.Uint64
 	syncs        atomic.Uint64
+	syncRetries  atomic.Uint64
+	syncAborts   atomic.Uint64
 	replays      atomic.Uint64
 }
 
@@ -164,6 +168,8 @@ func (c *counters) snapshot() Stats {
 		Trims:        c.trims.Load(),
 		OReqRetries:  c.oreqRetries.Load(),
 		Syncs:        c.syncs.Load(),
+		SyncRetries:  c.syncRetries.Load(),
+		SyncAborts:   c.syncAborts.Load(),
 		Replays:      c.replays.Load(),
 	}
 }
@@ -184,6 +190,7 @@ type Replica struct {
 
 	// Lock-free state shared between the mutation loop and the read lane.
 	mode    atomicMode
+	ready   atomic.Bool  // endpoint published; handle drops messages until set
 	maxSeen watermarks   // per-color highest SN observed (commit or sync)
 	held    heldRegistry // parked reads keyed by (color, SN)
 	stats   counters
@@ -218,6 +225,7 @@ func New(cfg Config, net *transport.Network) (*Replica, error) {
 		return nil, err
 	}
 	r.ep = ep
+	r.ready.Store(true)
 	r.start()
 	return r, nil
 }
@@ -239,6 +247,7 @@ func NewWithEndpoint(cfg Config, attach func(h transport.Handler) (transport.End
 		return nil, err
 	}
 	r.ep = ep
+	r.ready.Store(true)
 	r.start()
 	return r, nil
 }
@@ -357,6 +366,11 @@ func (r *Replica) sequencer() types.NodeID {
 // handle dispatches one inbound message. Read-class messages arrive here
 // on lane workers, everything else on the delivery loop.
 func (r *Replica) handle(from types.NodeID, msg transport.Message) {
+	if !r.ready.Load() {
+		// Delivery starts at Register, before the endpoint is published;
+		// drop the racing message — every protocol re-drives lost ones.
+		return
+	}
 	mode := r.mode.load()
 	if mode == ModeCrashed || mode == ModeStopped {
 		return
@@ -695,6 +709,7 @@ func (r *Replica) timerLoop() {
 				continue
 			}
 			r.expireHeldReads(now)
+			r.retrySyncRuns(now)
 			if mode == ModeOperational {
 				r.retryPendingOrders(now)
 				r.ep.Send(r.sequencer(), proto.ReplicaHeartbeat{From: r.cfg.ID})

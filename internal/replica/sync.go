@@ -6,6 +6,7 @@ import (
 
 	"flexlog/internal/proto"
 	"flexlog/internal/storage"
+	"flexlog/internal/transport"
 	"flexlog/internal/types"
 )
 
@@ -31,7 +32,23 @@ type syncRun struct {
 	fetching     bool
 	caughtUp     bool
 	participants []types.NodeID // shard replicas (incl. self)
+
+	// Retry state: sync messages are fire-and-forget, so on lossy links
+	// every stage is re-driven until the run completes (retrySyncRuns).
+	started     time.Time
+	lastDrive   time.Time
+	fetchTarget types.NodeID
+	fetchHave   map[types.ColorID]types.SN
 }
+
+// syncAbortRetries bounds how long a sync run may stall before it is
+// abandoned, in units of RetryTimeout. Retries recover lost messages, but
+// a run whose peer CRASHED mid-run is unrecoverable: Crash wipes the
+// peer's syncRuns, so it can neither answer the old run's barrier nor its
+// coordinator role. Such runs are dropped; a coordinator restarts with a
+// fresh id over the current peers (longer than any structural nemesis
+// window, so only truly wedged runs are aborted).
+const syncAbortRetries = 10
 
 // Crash simulates a crash failure of the replica process: the devices stop
 // and all messages are ignored until Recover.
@@ -73,11 +90,13 @@ func (r *Replica) startSyncPhase() {
 		dones:        make(map[types.NodeID]bool),
 		participants: append([]types.NodeID{r.cfg.ID}, peers...),
 	}
+	run.started = time.Now()
+	run.lastDrive = run.started
 	r.syncRuns[id] = run
 	r.mode.store(ModeSyncing)
 	r.stats.syncs.Add(1)
 	// Record our own state.
-	run.states[r.cfg.ID] = proto.SyncState{ID: id, Epoch: r.epoch, MaxSNs: r.maxSNsLocked(), From: r.cfg.ID}
+	run.states[r.cfg.ID] = proto.SyncState{ID: id, Epoch: r.epoch, MaxSNs: r.maxSNsLocked(), Trimmed: r.maxTrimsLocked(), From: r.cfg.ID}
 	r.mu.Unlock()
 
 	if len(peers) == 0 {
@@ -105,6 +124,19 @@ func (r *Replica) maxSNsLocked() map[types.ColorID]types.SN {
 	return out
 }
 
+// maxTrimsLocked snapshots this replica's per-color trim frontier; it
+// rides along with the committed frontier in SyncState so recovering
+// replicas learn about trims that ran during their downtime.
+func (r *Replica) maxTrimsLocked() map[types.ColorID]types.SN {
+	out := make(map[types.ColorID]types.SN)
+	for _, c := range r.topo.Colors() {
+		if sn := r.st.Trimmed(c); sn.Valid() {
+			out[c] = sn
+		}
+	}
+	return out
+}
+
 func (r *Replica) onSyncRequest(from types.NodeID, m proto.SyncRequest) {
 	r.mu.Lock()
 	// Enter sync mode: stop processing appends and sequencer messages
@@ -118,9 +150,11 @@ func (r *Replica) onSyncRequest(from types.NodeID, m proto.SyncRequest) {
 			coordinator:  m.From,
 			dones:        make(map[types.NodeID]bool),
 			participants: append([]types.NodeID{r.cfg.ID}, r.shardPeersLocked()...),
+			started:      time.Now(),
 		}
 	}
-	state := proto.SyncState{ID: m.ID, Epoch: r.epoch, MaxSNs: r.maxSNsLocked(), From: r.cfg.ID}
+	r.syncRuns[m.ID].lastDrive = time.Now()
+	state := proto.SyncState{ID: m.ID, Epoch: r.epoch, MaxSNs: r.maxSNsLocked(), Trimmed: r.maxTrimsLocked(), From: r.cfg.ID}
 	r.mu.Unlock()
 	r.ep.Send(m.From, state)
 }
@@ -161,11 +195,17 @@ func (r *Replica) onSyncState(m proto.SyncState) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	maxFrontier := make(map[types.ColorID]types.SN)
+	maxTrimmed := make(map[types.ColorID]types.SN)
 	for _, id := range ids {
 		st := run.states[id]
 		for c, sn := range st.MaxSNs {
 			if sn > maxFrontier[c] {
 				maxFrontier[c] = sn
+			}
+		}
+		for c, sn := range st.Trimmed {
+			if sn > maxTrimmed[c] {
+				maxTrimmed[c] = sn
 			}
 		}
 		if sc := scoreFrontier(st.MaxSNs); sc > bestScore || (sc == bestScore && id > best) {
@@ -174,11 +214,12 @@ func (r *Replica) onSyncState(m proto.SyncState) {
 	}
 	epoch := r.epoch
 	id := run.id
+	run.lastDrive = time.Now()
 	participants := append([]types.NodeID(nil), run.participants...)
 	r.mu.Unlock()
 
 	// Round 2: broadcast the most up-to-date replica id (§6.3).
-	msg := proto.SyncCatchup{ID: id, UpToDate: best, Max: maxFrontier, Epoch: epoch, From: r.cfg.ID}
+	msg := proto.SyncCatchup{ID: id, UpToDate: best, Max: maxFrontier, Trimmed: maxTrimmed, Epoch: epoch, From: r.cfg.ID}
 	for _, p := range participants {
 		if p == r.cfg.ID {
 			r.onSyncCatchup(msg)
@@ -207,6 +248,14 @@ func (r *Replica) onSyncCatchup(m proto.SyncCatchup) {
 	if m.Epoch > r.epoch {
 		r.epoch = m.Epoch
 	}
+	// Converge on the shard's trim frontier first: records trimmed while
+	// this replica was down must not be resurrected (and must not be
+	// re-fetched below).
+	for c, sn := range m.Trimmed {
+		if sn > r.st.Trimmed(c) {
+			r.st.Trim(c, sn)
+		}
+	}
 	// Work out whether we are missing anything the up-to-date replica has.
 	need := make(map[types.ColorID]types.SN)
 	have := make(map[types.ColorID]types.SN)
@@ -219,11 +268,15 @@ func (r *Replica) onSyncCatchup(m proto.SyncCatchup) {
 	}
 	if len(need) == 0 || m.UpToDate == r.cfg.ID {
 		run.caughtUp = true
+		run.lastDrive = time.Now()
 		r.mu.Unlock()
 		r.broadcastSyncDone(m.ID)
 		return
 	}
 	run.fetching = true
+	run.fetchTarget = m.UpToDate
+	run.fetchHave = have
+	run.lastDrive = time.Now()
 	r.mu.Unlock()
 	r.ep.Send(m.UpToDate, proto.SyncFetch{ID: m.ID, Have: have, From: r.cfg.ID})
 }
@@ -259,9 +312,15 @@ func (r *Replica) onSyncEntries(m proto.SyncEntries) {
 	run.caughtUp = true
 	r.mu.Unlock()
 	// Ingest: persist + commit each record at its authoritative SN.
-	// Tokens already present are just committed (idempotent).
+	// Tokens already present are just committed (idempotent). Records at
+	// or below the local trim frontier are skipped — they were garbage-
+	// collected by a trim that raced the fetch.
 	for color, recs := range m.Records {
+		frontier := r.st.Trimmed(color)
 		for _, rec := range recs {
+			if rec.SN.Valid() && rec.SN <= frontier {
+				continue
+			}
 			if !r.st.Has(rec.Token) {
 				if err := r.st.Put(color, rec.Token, rec.Data); err != nil {
 					continue
@@ -285,6 +344,7 @@ func (r *Replica) broadcastSyncDone(id uint64) {
 		return
 	}
 	run.dones[r.cfg.ID] = true
+	run.lastDrive = time.Now()
 	participants := append([]types.NodeID(nil), run.participants...)
 	done := r.syncBarrierDoneLocked(run)
 	r.mu.Unlock()
@@ -373,6 +433,93 @@ func (r *Replica) finishSyncLocked() {
 			r.sendOrderReq(b.Token, b.Color, uint32(len(b.Records)))
 		}
 	}()
+}
+
+// retrySyncRuns re-drives stalled sync-phases. Every sync message is
+// fire-and-forget, so on lossy links any stage can be lost; each stage is
+// therefore idempotent and re-driven from this replica's current state
+// until the run's all-to-all barrier completes:
+//
+//   - a coordinator still collecting states re-broadcasts SyncRequest;
+//   - a fetching replica re-sends its SyncFetch;
+//   - a replica past catch-up re-broadcasts its SyncDone;
+//   - a participant still waiting for the coordinator's round 2 re-sends
+//     its SyncState (the coordinator re-broadcasts SyncCatchup when its
+//     state set is already complete).
+func (r *Replica) retrySyncRuns(now time.Time) {
+	retry := r.cfg.RetryTimeout
+	if retry <= 0 {
+		return
+	}
+	type action struct {
+		to  []types.NodeID
+		msg transport.Message
+	}
+	var acts []action
+	restart, aborted := false, false
+	r.mu.Lock()
+	for _, run := range r.syncRuns {
+		if now.Sub(run.started) > syncAbortRetries*retry {
+			// Wedged beyond repair (a peer crashed and lost the run's
+			// state): abandon the run. A coordinator re-runs the whole
+			// phase with a fresh id; a participant whose last run this was
+			// resumes — it was consistent when the foreign run started.
+			delete(r.syncRuns, run.id)
+			r.stats.syncAborts.Add(1)
+			aborted = true
+			if run.coordinator == r.cfg.ID {
+				restart = true
+			}
+			continue
+		}
+		if now.Sub(run.lastDrive) < retry {
+			continue
+		}
+		run.lastDrive = now
+		r.stats.syncRetries.Add(1)
+		switch {
+		case run.coordinator == r.cfg.ID && len(run.states) < len(run.participants):
+			var missing []types.NodeID
+			for _, p := range run.participants {
+				if _, ok := run.states[p]; !ok {
+					missing = append(missing, p)
+				}
+			}
+			acts = append(acts, action{to: missing, msg: proto.SyncRequest{ID: run.id, From: r.cfg.ID}})
+		case run.fetching:
+			acts = append(acts, action{
+				to:  []types.NodeID{run.fetchTarget},
+				msg: proto.SyncFetch{ID: run.id, Have: run.fetchHave, From: r.cfg.ID},
+			})
+		case run.caughtUp:
+			var peers []types.NodeID
+			for _, p := range run.participants {
+				if p != r.cfg.ID && !run.dones[p] {
+					peers = append(peers, p)
+				}
+			}
+			acts = append(acts, action{to: peers, msg: proto.SyncDone{ID: run.id, From: r.cfg.ID}})
+		default:
+			// Waiting for SyncCatchup: nudge the coordinator with our state.
+			state := proto.SyncState{ID: run.id, Epoch: r.epoch, MaxSNs: r.maxSNsLocked(), Trimmed: r.maxTrimsLocked(), From: r.cfg.ID}
+			acts = append(acts, action{to: []types.NodeID{run.coordinator}, msg: state})
+		}
+	}
+	// Only the abort path may finish here: Recover stores ModeSyncing just
+	// before startSyncPhase inserts its run, so an unconditional
+	// empty-map finish could race that window and serve un-synced state.
+	if aborted && len(r.syncRuns) == 0 && !restart && r.mode.load() == ModeSyncing {
+		r.finishSyncLocked()
+	}
+	r.mu.Unlock()
+	if restart {
+		r.startSyncPhase()
+	}
+	for _, a := range acts {
+		for _, to := range a.to {
+			r.ep.Send(to, a.msg)
+		}
+	}
 }
 
 // onSeqInit handles a new sequencer's initialization request (§6.3

@@ -209,6 +209,38 @@ func (s *Sequencer) onEpochClaim(m proto.EpochClaim) {
 		s.mu.Unlock()
 		return
 	}
+	now := time.Now()
+	// Leader stickiness: a claim triggered by lost heartbeats on one link
+	// must not depose a live leader. A leader that can still reach a
+	// majority rejects instead of stepping down; a backup that heard the
+	// leader recently (within the failure window, minus slack for beats in
+	// flight) rejects instead of granting. The claimant abandons without
+	// adopting our epoch (see proto.EpochReject.LeaderAlive).
+	if m.Epoch > s.epoch {
+		if s.role == RoleLeader {
+			live := 1 // self
+			for _, t := range s.hbAcks {
+				if now.Sub(t) <= s.cfg.FailureTimeout {
+					live++
+				}
+			}
+			if live >= s.majority() || !s.sawFirstAck() {
+				reject := proto.EpochReject{Epoch: s.epoch, Claimant: s.cfg.ID, LeaderAlive: true}
+				s.mu.Unlock()
+				s.ep.Send(m.From, reject)
+				return
+			}
+		}
+		if s.role == RoleBackup {
+			window := s.cfg.FailureTimeout - 2*s.cfg.HeartbeatInterval
+			if window > 0 && !s.lastLeaderBeat.IsZero() && now.Sub(s.lastLeaderBeat) < window {
+				reject := proto.EpochReject{Epoch: s.epoch, LeaderAlive: true}
+				s.mu.Unlock()
+				s.ep.Send(m.From, reject)
+				return
+			}
+		}
+	}
 	// Grant each epoch at most once (ensuring a unique winner per epoch);
 	// re-grant idempotently to the same claimant.
 	switch {
@@ -252,6 +284,17 @@ func (s *Sequencer) onEpochGrant(m proto.EpochGrant) {
 func (s *Sequencer) onEpochReject(m proto.EpochReject) {
 	s.mu.Lock()
 	if s.role != RoleBackup {
+		s.mu.Unlock()
+		return
+	}
+	if m.LeaderAlive {
+		// Stickiness rejection: the leader is alive, our silence was lost
+		// heartbeats. Abandon the claim WITHOUT adopting the epoch — our
+		// epoch must stay low enough to accept the live leader's
+		// heartbeats, or we would claim again forever (epoch inflation).
+		s.initEpoch = 0
+		s.initAcks = nil
+		s.lastLeaderHB = time.Now()
 		s.mu.Unlock()
 		return
 	}
@@ -344,7 +387,9 @@ func (s *Sequencer) onHeartbeat(m proto.SeqHeartbeat) {
 		}
 	}
 	if m.Epoch >= s.epoch {
-		s.lastLeaderHB = time.Now()
+		now := time.Now()
+		s.lastLeaderHB = now
+		s.lastLeaderBeat = now
 	}
 	epoch := s.epoch
 	id := s.cfg.ID

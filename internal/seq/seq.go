@@ -162,11 +162,17 @@ type Sequencer struct {
 	// election / heartbeat state
 	grantedEpoch types.Epoch
 	grantedTo    types.NodeID
-	lastLeaderHB time.Time
-	hbAcks       map[types.NodeID]time.Time
-	initAcks     map[types.NodeID]bool
-	initEpoch    types.Epoch
-	claimStart   time.Time
+	// lastLeaderHB is the candidacy-suppression clock: reset by leader
+	// heartbeats but ALSO by grants and abandoned claims so elections
+	// back off. lastLeaderBeat is reset only by an actual current-epoch
+	// heartbeat; the stickiness check in onEpochClaim uses it so that a
+	// recent grant/abandon is never mistaken for a live leader.
+	lastLeaderHB   time.Time
+	lastLeaderBeat time.Time
+	hbAcks         map[types.NodeID]time.Time
+	initAcks       map[types.NodeID]bool
+	initEpoch      types.Epoch
+	claimStart     time.Time
 
 	stats Stats
 
@@ -187,7 +193,9 @@ func New(cfg Config, net *transport.Network) (*Sequencer, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	s.ep = ep
+	s.mu.Unlock()
 	s.start()
 	return s, nil
 }
@@ -201,7 +209,9 @@ func NewWithEndpoint(cfg Config, attach func(h transport.Handler) (transport.End
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	s.ep = ep
+	s.mu.Unlock()
 	s.start()
 	return s, nil
 }
@@ -296,8 +306,16 @@ func (s *Sequencer) Stop() {
 // isolation in tests.
 func (s *Sequencer) Crash() { s.Stop() }
 
-// handle dispatches one inbound message.
+// handle dispatches one inbound message. Messages racing the constructor
+// (delivery starts at Register, before the endpoint is published) are
+// dropped; every protocol above re-drives lost messages anyway.
 func (s *Sequencer) handle(from types.NodeID, msg transport.Message) {
+	s.mu.Lock()
+	ready := s.ep != nil
+	s.mu.Unlock()
+	if !ready {
+		return
+	}
 	switch m := msg.(type) {
 	case proto.OrderReq:
 		s.onOrderReq(m)

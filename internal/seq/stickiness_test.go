@@ -1,0 +1,75 @@
+package seq
+
+import (
+	"testing"
+	"time"
+
+	"flexlog/internal/transport"
+)
+
+// TestLossyHeartbeatsDoNotDeposeLeader covers leader stickiness: a backup
+// that stops hearing heartbeats because the leader→backup link drops
+// messages (not because the leader died) must not depose the leader. The
+// live leader and the still-connected backup reject its claims with
+// LeaderAlive, the claimant abandons without adopting a higher epoch, and
+// once the link heals it settles back as a backup of the original epoch.
+func TestLossyHeartbeatsDoNotDeposeLeader(t *testing.T) {
+	net, group, _ := failoverCluster(t)
+	// Warm up: let the leader collect heartbeat acks from both backups.
+	waitUntil(t, time.Second, func() bool {
+		return group[100].Role() == RoleLeader && group[100].Serving()
+	}, "initial leader serving")
+	time.Sleep(15 * time.Millisecond)
+
+	// Drop every leader→102 message for several failure timeouts: 102 goes
+	// silent-on-leader and starts claiming, but 100 still reaches a
+	// majority (itself + 101) and 101 still hears 100.
+	net.SetFaultSeed(7)
+	net.SetLinkFaults(100, 102, transport.FaultModel{DropProb: 1})
+	time.Sleep(4 * group[100].cfg.FailureTimeout)
+	net.ClearFaults()
+
+	if fs := net.FaultStats(); fs.Drops == 0 {
+		t.Fatal("fault injection dropped nothing; test exercised no loss")
+	}
+	// The leader must have survived with its original epoch: no spurious
+	// epoch bump, no stand-down.
+	if group[100].Role() != RoleLeader || !group[100].Serving() {
+		t.Fatalf("leader deposed by lossy link: role=%v serving=%v",
+			group[100].Role(), group[100].Serving())
+	}
+	if e := group[100].Epoch(); e != 1 {
+		t.Fatalf("leader epoch = %d, want 1 (no spurious bump)", e)
+	}
+	if group[100].Stats().Elections != 0 {
+		t.Fatalf("leader ran %d elections, want 0", group[100].Stats().Elections)
+	}
+	// The cut-off backup re-converges as a backup of the original epoch.
+	waitUntil(t, time.Second, func() bool {
+		return group[102].Role() == RoleBackup && group[102].Epoch() == 1
+	}, "backup 102 settles back under epoch-1 leader")
+	if group[101].Role() != RoleBackup {
+		t.Fatalf("node 101 role = %v, want backup", group[101].Role())
+	}
+}
+
+// TestGenuineFailoverStillConverges guards the other side of stickiness:
+// when the leader really dies, LeaderAlive rejections must not block the
+// election — backups stop hearing the leader, the recent-heartbeat window
+// expires, and the highest backup wins as before.
+func TestGenuineFailoverStillConverges(t *testing.T) {
+	net, group, _ := failoverCluster(t)
+	waitUntil(t, time.Second, func() bool {
+		return group[100].Role() == RoleLeader && group[100].Serving()
+	}, "initial leader serving")
+	time.Sleep(15 * time.Millisecond)
+
+	group[100].Crash()
+	net.Isolate(100)
+	waitUntil(t, 5*time.Second, func() bool {
+		return group[102].Role() == RoleLeader && group[102].Serving()
+	}, "backup 102 takes over after a real crash")
+	if e := group[102].Epoch(); e < 2 {
+		t.Fatalf("new leader epoch = %d, want >= 2", e)
+	}
+}

@@ -503,6 +503,19 @@ func (st *Store) MaxSN(color types.ColorID) types.SN {
 	return types.InvalidSN
 }
 
+// Trimmed returns the color's trim frontier: the largest SN an applied
+// trim has covered (records at or below it are gone). InvalidSN when the
+// color was never trimmed. The sync-phase exchanges this so a recovering
+// replica never resurrects garbage-collected records.
+func (st *Store) Trimmed(color types.ColorID) types.SN {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if ci := st.byColor[color]; ci != nil {
+		return ci.trimmed
+	}
+	return types.InvalidSN
+}
+
 // Bounds returns the [head, tail] SN pair of the color's log: head is the
 // smallest retained SN, tail the largest committed one.
 func (st *Store) Bounds(color types.ColorID) (head, tail types.SN) {

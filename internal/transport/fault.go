@@ -1,0 +1,276 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexlog/internal/types"
+)
+
+// FaultModel describes message-level faults injected on a directed link
+// (§4 relaxation for robustness testing). The zero value is a perfect
+// link: the transport's FIFO/reliability contract holds exactly. Each
+// probability is evaluated independently per message, using a per-link
+// deterministic rng derived from the network's fault seed — so a given
+// sender's message sequence over a given link experiences the same fault
+// pattern on every run with the same seed.
+//
+// FIFO is relaxed only on links whose model says so: ReorderProb lets a
+// message overtake the previously queued one (later-sent delivered first,
+// as with multi-path packet overtaking); causality is never violated.
+type FaultModel struct {
+	// DropProb silently loses the message (the sender still sees a nil
+	// error, as with a datagram lost on the wire).
+	DropProb float64
+	// DupProb delivers the message twice (retransmission duplicates).
+	DupProb float64
+	// ReorderProb lets the message overtake the last not-yet-delivered
+	// message queued at the destination.
+	ReorderProb float64
+	// JitterMax adds a uniform extra delivery delay in [0, JitterMax).
+	JitterMax time.Duration
+	// DropNext is a one-shot scripted fault: drop exactly the next
+	// DropNext messages on the link, then continue with the
+	// probabilistic model. Used to script deterministic loss bursts
+	// (e.g. a run of lost heartbeats).
+	DropNext int
+}
+
+// Zero reports whether the model injects no faults at all.
+func (f FaultModel) Zero() bool {
+	return f.DropProb == 0 && f.DupProb == 0 && f.ReorderProb == 0 &&
+		f.JitterMax == 0 && f.DropNext == 0
+}
+
+// String renders the model compactly for nemesis-schedule replay logs.
+func (f FaultModel) String() string {
+	if f.Zero() {
+		return "clean"
+	}
+	var parts []string
+	if f.DropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%.2f", f.DropProb))
+	}
+	if f.DupProb > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%.2f", f.DupProb))
+	}
+	if f.ReorderProb > 0 {
+		parts = append(parts, fmt.Sprintf("reorder=%.2f", f.ReorderProb))
+	}
+	if f.JitterMax > 0 {
+		parts = append(parts, fmt.Sprintf("jitter<%v", f.JitterMax))
+	}
+	if f.DropNext > 0 {
+		parts = append(parts, fmt.Sprintf("dropnext=%d", f.DropNext))
+	}
+	return strings.Join(parts, ",")
+}
+
+// FaultStats counts faults the network injected so far.
+type FaultStats struct {
+	Drops    uint64 // messages silently lost (DropProb / DropNext)
+	Dups     uint64 // messages delivered twice
+	Reorders uint64 // messages that overtook an earlier one
+	Jittered uint64 // messages delayed by jitter
+}
+
+// linkFaults is the live fault state of one directed link. The rng is
+// derived from (network seed, from, to), so the fault decision sequence
+// on a link is a deterministic function of the seed and that link's
+// message count.
+type linkFaults struct {
+	mu    sync.Mutex
+	model FaultModel
+	rng   *rand.Rand
+}
+
+// faultDecision is the outcome of evaluating a model for one message.
+type faultDecision struct {
+	drop    bool
+	dup     bool
+	reorder bool
+	jitter  time.Duration
+}
+
+// decide draws one message's fate from the link model.
+func (lf *linkFaults) decide() faultDecision {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.model.DropNext > 0 {
+		lf.model.DropNext--
+		return faultDecision{drop: true}
+	}
+	var d faultDecision
+	m := &lf.model
+	if m.DropProb > 0 && lf.rng.Float64() < m.DropProb {
+		d.drop = true
+		return d
+	}
+	if m.DupProb > 0 && lf.rng.Float64() < m.DupProb {
+		d.dup = true
+	}
+	if m.ReorderProb > 0 && lf.rng.Float64() < m.ReorderProb {
+		d.reorder = true
+	}
+	if m.JitterMax > 0 {
+		d.jitter = time.Duration(lf.rng.Int63n(int64(m.JitterMax)))
+	}
+	return d
+}
+
+// linkSeed mixes the base seed with the directed link identity
+// (splitmix64-style constants) so every link gets an independent stream.
+func linkSeed(base int64, from, to types.NodeID) int64 {
+	h := uint64(base)
+	h ^= uint64(from) * 0x9E3779B97F4A7C15
+	h ^= uint64(to) * 0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	return int64(h)
+}
+
+// faultState is the network-wide fault configuration.
+type faultState struct {
+	mu    sync.Mutex
+	seed  int64
+	links map[[2]types.NodeID]*linkFaults // directed [from, to]
+	def   *FaultModel                     // applies to links without an explicit model
+
+	drops    atomic.Uint64
+	dups     atomic.Uint64
+	reorders atomic.Uint64
+	jittered atomic.Uint64
+}
+
+// SetFaultSeed fixes the seed the per-link fault rngs derive from and
+// resets every link's fault stream. Call before configuring models; the
+// default seed is 1.
+func (n *Network) SetFaultSeed(seed int64) {
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seed = seed
+	for key, lf := range f.links {
+		lf.mu.Lock()
+		lf.rng = rand.New(rand.NewSource(linkSeed(seed, key[0], key[1])))
+		lf.mu.Unlock()
+	}
+}
+
+// SetLinkFaults installs a fault model on the directed link from→to.
+// A zero model restores the link to perfect delivery.
+func (n *Network) SetLinkFaults(from, to types.NodeID, m FaultModel) {
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m.Zero() && f.def == nil {
+		delete(f.links, [2]types.NodeID{from, to})
+	} else {
+		f.linkLocked(from, to).setModel(m)
+	}
+	n.updateFaultsActiveLocked()
+}
+
+// SetDefaultFaults installs a fault model on every link, current and
+// future, that has no explicit per-link model. A zero model clears it.
+func (n *Network) SetDefaultFaults(m FaultModel) {
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m.Zero() {
+		f.def = nil
+		// Links materialized from the old default revert to clean unless
+		// they were explicitly configured; drop the lazily created ones.
+		for key, lf := range f.links {
+			lf.mu.Lock()
+			zero := lf.model.Zero()
+			lf.mu.Unlock()
+			if zero {
+				delete(f.links, key)
+			}
+		}
+	} else {
+		def := m
+		f.def = &def
+		for _, lf := range f.links {
+			lf.setModel(m)
+		}
+	}
+	n.updateFaultsActiveLocked()
+}
+
+// ClearFaults removes every fault model (per-link and default). Fault
+// counters are preserved.
+func (n *Network) ClearFaults() {
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links = make(map[[2]types.NodeID]*linkFaults)
+	f.def = nil
+	n.updateFaultsActiveLocked()
+}
+
+// FaultStats returns the totals of injected faults.
+func (n *Network) FaultStats() FaultStats {
+	f := &n.faults
+	return FaultStats{
+		Drops:    f.drops.Load(),
+		Dups:     f.dups.Load(),
+		Reorders: f.reorders.Load(),
+		Jittered: f.jittered.Load(),
+	}
+}
+
+// updateFaultsActiveLocked refreshes the fast-path flag. Caller holds
+// faults.mu.
+func (n *Network) updateFaultsActiveLocked() {
+	n.faultsOn.Store(len(n.faults.links) > 0 || n.faults.def != nil)
+}
+
+// linkLocked returns (creating if needed) the directed link's fault
+// state. Caller holds faults.mu.
+func (f *faultState) linkLocked(from, to types.NodeID) *linkFaults {
+	key := [2]types.NodeID{from, to}
+	lf := f.links[key]
+	if lf == nil {
+		seed := f.seed
+		if seed == 0 {
+			seed = 1
+		}
+		lf = &linkFaults{rng: rand.New(rand.NewSource(linkSeed(seed, from, to)))}
+		if f.def != nil {
+			lf.model = *f.def
+		}
+		f.links[key] = lf
+	}
+	return lf
+}
+
+func (lf *linkFaults) setModel(m FaultModel) {
+	lf.mu.Lock()
+	lf.model = m
+	lf.mu.Unlock()
+}
+
+// faultsFor resolves the live fault state of a directed link, or nil when
+// the link is perfect. It materializes default-model links lazily so each
+// gets its own deterministic rng stream.
+func (n *Network) faultsFor(from, to types.NodeID) *linkFaults {
+	if !n.faultsOn.Load() {
+		return nil
+	}
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if lf, ok := f.links[[2]types.NodeID{from, to}]; ok {
+		return lf
+	}
+	if f.def == nil {
+		return nil
+	}
+	return f.linkLocked(from, to)
+}

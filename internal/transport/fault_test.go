@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"flexlog/internal/types"
+)
+
+// collector is a handler that records received messages.
+type collector struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+func (c *collector) handle(from types.NodeID, msg Message) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, msg)
+	c.mu.Unlock()
+}
+
+func (c *collector) ints() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.msgs))
+	for _, m := range c.msgs {
+		out = append(out, m.(int))
+	}
+	return out
+}
+
+func (c *collector) waitLen(t *testing.T, want int) []int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := c.ints()
+		if len(got) >= want {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d messages, have %d", want, len(got))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func faultPair(t *testing.T) (*Network, Endpoint, *collector) {
+	t.Helper()
+	n := NewNetwork(ZeroLink())
+	var rx collector
+	src, err := n.Register(1, func(types.NodeID, Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register(2, rx.handle); err != nil {
+		t.Fatal(err)
+	}
+	return n, src, &rx
+}
+
+func TestFaultDropAll(t *testing.T) {
+	n, src, rx := faultPair(t)
+	n.SetLinkFaults(1, 2, FaultModel{DropProb: 1})
+	for i := 0; i < 50; i++ {
+		if err := src.Send(2, i); err != nil {
+			t.Fatalf("lossy drop must look like success, got %v", err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := rx.ints(); len(got) != 0 {
+		t.Fatalf("DropProb=1 delivered %d messages", len(got))
+	}
+	if st := n.FaultStats(); st.Drops != 50 {
+		t.Fatalf("Drops = %d, want 50", st.Drops)
+	}
+}
+
+func TestFaultDropNextOneShot(t *testing.T) {
+	n, src, rx := faultPair(t)
+	n.SetLinkFaults(1, 2, FaultModel{DropNext: 3})
+	for i := 0; i < 10; i++ {
+		src.Send(2, i)
+	}
+	got := rx.waitLen(t, 7)
+	if len(got) != 7 {
+		t.Fatalf("delivered %d, want 7", len(got))
+	}
+	for i, v := range got {
+		if v != i+3 {
+			t.Fatalf("message %d = %d, want %d (first 3 dropped)", i, v, i+3)
+		}
+	}
+	if st := n.FaultStats(); st.Drops != 3 {
+		t.Fatalf("Drops = %d, want 3", st.Drops)
+	}
+}
+
+func TestFaultDupAll(t *testing.T) {
+	n, src, rx := faultPair(t)
+	n.SetLinkFaults(1, 2, FaultModel{DupProb: 1})
+	for i := 0; i < 20; i++ {
+		src.Send(2, i)
+	}
+	got := rx.waitLen(t, 40)
+	if len(got) != 40 {
+		t.Fatalf("delivered %d, want 40", len(got))
+	}
+	for i := 0; i < 20; i++ {
+		if got[2*i] != i || got[2*i+1] != i {
+			t.Fatalf("message %d not duplicated in place: %v", i, got[2*i:2*i+2])
+		}
+	}
+}
+
+func TestFaultReorderRelaxesFIFO(t *testing.T) {
+	n, src, rx := faultPair(t)
+	// Make delivery slow enough for a queue to build, so reorder swaps
+	// have queued messages to overtake.
+	n.SetLinkFaults(1, 2, FaultModel{ReorderProb: 0.5, JitterMax: 200 * time.Microsecond})
+	const total = 400
+	for i := 0; i < total; i++ {
+		src.Send(2, i)
+	}
+	got := rx.waitLen(t, total)
+	// Every message must arrive exactly once...
+	seen := make(map[int]bool, total)
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("message %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("delivered %d distinct, want %d", len(seen), total)
+	}
+	// ...and at least one pair must be out of order.
+	inversions := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("ReorderProb=0.5 produced a perfectly FIFO delivery")
+	}
+	if st := n.FaultStats(); st.Reorders == 0 {
+		t.Fatal("reorder counter never bumped")
+	}
+}
+
+func TestFaultJitterDelaysDelivery(t *testing.T) {
+	n, src, rx := faultPair(t)
+	n.SetLinkFaults(1, 2, FaultModel{JitterMax: 3 * time.Millisecond})
+	start := time.Now()
+	const total = 20
+	for i := 0; i < total; i++ {
+		src.Send(2, i)
+	}
+	got := rx.waitLen(t, total)
+	if len(got) != total {
+		t.Fatalf("delivered %d, want %d", len(got), total)
+	}
+	// Jitter deadlines are stamped at send time and waited out pipelined,
+	// so the burst elapses ~max(jitter) of the 20 draws, not the sum: the
+	// chance every uniform[0,3ms) draw lands under 1ms is (1/3)^20.
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("jittered delivery finished in %v, suspiciously fast", elapsed)
+	}
+	if st := n.FaultStats(); st.Jittered == 0 {
+		t.Fatal("jitter counter never bumped")
+	}
+}
+
+// TestFaultSeedDeterminism verifies the per-link decision stream is a pure
+// function of (seed, link, message index): two networks with the same seed
+// and model drop exactly the same message positions.
+func TestFaultSeedDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		n, src, rx := faultPair(t)
+		n.SetFaultSeed(seed)
+		n.SetLinkFaults(1, 2, FaultModel{DropProb: 0.3})
+		const total = 200
+		for i := 0; i < total; i++ {
+			src.Send(2, i)
+		}
+		// Drain: survivors arrive in order; wait for the expected count.
+		want := int(n.delivered.Load()) // racy hint; wait on stats instead
+		_ = want
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := n.FaultStats()
+			if int(st.Drops)+len(rx.ints()) == total {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("drain timeout")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return rx.ints()
+	}
+	a := run(42)
+	b := run(42)
+	c := run(43)
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical drop pattern")
+		}
+	}
+}
+
+// TestDefaultFaultsCoverNewLinks verifies SetDefaultFaults applies to links
+// that first carry traffic later, and that ClearFaults restores perfection.
+func TestDefaultFaultsCoverNewLinks(t *testing.T) {
+	n := NewNetwork(ZeroLink())
+	var rx collector
+	src, _ := n.Register(1, func(types.NodeID, Message) {})
+	n.SetDefaultFaults(FaultModel{DropProb: 1})
+	if _, err := n.Register(3, rx.handle); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		src.Send(3, i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := rx.ints(); len(got) != 0 {
+		t.Fatalf("default faults ignored on new link: %d delivered", len(got))
+	}
+	n.ClearFaults()
+	for i := 0; i < 10; i++ {
+		src.Send(3, i)
+	}
+	rx.waitLen(t, 10)
+}

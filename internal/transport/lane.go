@@ -120,7 +120,10 @@ func (l *readLane) worker() {
 			// The receive-side processing cost is paid here, per worker:
 			// this is what the read lane buys — classified messages use
 			// the node's other cores instead of the delivery loop's one.
-			simclock.Spin(l.procCost)
+			// Skipped when only fault jitter stamped the deadline.
+			if simclock.Enabled() {
+				simclock.Spin(l.procCost)
+			}
 		}
 		l.handler(it.from, it.msg)
 		l.busyNs.Add(int64(time.Since(start)))

@@ -56,7 +56,9 @@ type envelope struct {
 
 // Network is the in-process transport fabric. It provides registration,
 // per-destination FIFO delivery with pipelined delay injection, and fault
-// injection (partitions, crashed endpoints) for the recovery tests.
+// injection for the recovery and chaos tests: partitions and crashed
+// endpoints (clean faults) plus per-link message-level fault models
+// (drop, duplication, reorder, delay jitter — see FaultModel).
 type Network struct {
 	model LinkModel
 
@@ -64,6 +66,9 @@ type Network struct {
 	nodes    map[types.NodeID]*inprocEndpoint
 	cut      map[[2]types.NodeID]bool // symmetric partition set
 	isolated map[types.NodeID]bool
+
+	faults   faultState  // message-level fault injection (fault.go)
+	faultsOn atomic.Bool // fast-path flag: any fault model installed
 
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
@@ -76,6 +81,7 @@ func NewNetwork(model LinkModel) *Network {
 		nodes:    make(map[types.NodeID]*inprocEndpoint),
 		cut:      make(map[[2]types.NodeID]bool),
 		isolated: make(map[types.NodeID]bool),
+		faults:   faultState{seed: 1, links: make(map[[2]types.NodeID]*linkFaults)},
 	}
 }
 
@@ -250,16 +256,56 @@ func (e *inprocEndpoint) Send(to types.NodeID, msg Message) error {
 	}
 	n.mu.RUnlock()
 
+	var fd faultDecision
+	if lf := n.faultsFor(e.id, to); lf != nil {
+		fd = lf.decide()
+		if fd.drop {
+			// A lossy-link loss, not a partition: the sender sees success
+			// (as with a datagram lost on the wire) and relies on its
+			// retry/timeout machinery.
+			n.dropped.Add(1)
+			n.faults.drops.Add(1)
+			return nil
+		}
+		if fd.dup {
+			n.faults.dups.Add(1)
+		}
+		if fd.reorder {
+			n.faults.reorders.Add(1)
+		}
+		if fd.jitter > 0 {
+			n.faults.jittered.Add(1)
+		}
+	}
+
 	env := envelope{from: e.id, msg: msg}
+	var delay time.Duration
 	if simclock.Enabled() {
-		env.deliverAt = time.Now().Add(n.model.delayFor(msg))
+		delay = n.model.delayFor(msg)
+	}
+	delay += fd.jitter // jitter applies even without the latency model
+	if delay > 0 {
+		env.deliverAt = time.Now().Add(delay)
 	}
 	dst.qmu.Lock()
 	if dst.closed {
 		dst.qmu.Unlock()
 		return ErrClosed
 	}
-	dst.queue = append(dst.queue, env)
+	if fd.reorder && len(dst.queue) > 0 {
+		// Overtake the last queued message: this (later-sent) envelope is
+		// delivered before it — the FIFO relaxation of FaultModel. Never
+		// reorders ahead of messages already handed to the handler, so
+		// causality is preserved.
+		last := len(dst.queue) - 1
+		dst.queue = append(dst.queue, dst.queue[last])
+		dst.queue[last] = env
+	} else {
+		dst.queue = append(dst.queue, env)
+	}
+	if fd.dup {
+		dst.queue = append(dst.queue, env)
+	}
 	dst.cond.Signal()
 	dst.qmu.Unlock()
 	return nil
@@ -315,8 +361,12 @@ func (e *inprocEndpoint) deliveryLoop() {
 		if !env.deliverAt.IsZero() {
 			simclock.SpinUntil(env.deliverAt)
 			// Serial receive-side processing: unlike the propagation
-			// delay this is NOT pipelined — it is the node's CPU.
-			simclock.Spin(e.net.model.ProcCost)
+			// delay this is NOT pipelined — it is the node's CPU. Only
+			// modeled when latency injection is on (deliverAt may also be
+			// set by fault jitter alone).
+			if simclock.Enabled() {
+				simclock.Spin(e.net.model.ProcCost)
+			}
 		}
 		e.net.delivered.Add(1)
 		e.delivered.Add(1)
