@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-smoke chaos-smoke chaos-soak
+.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak
 
-verify: build test vet race chaos-smoke
+verify: build test vet race chaos-smoke bench-write-smoke
 
 build:
 	$(GO) build ./...
@@ -39,3 +39,9 @@ bench:
 # and heap profiles dropped next to the binary's working dir.
 bench-smoke:
 	$(GO) run ./cmd/flexlog-bench -quick -cpuprofile cpu.pprof -memprofile mem.pprof ablate-readpath
+
+# Write-path smoke: the quick ablation must finish (well) inside 30s and
+# report zero drops; part of `make verify` so the parallel write path
+# can't silently rot. The block profile captures lane/lock contention.
+bench-write-smoke:
+	timeout 30 $(GO) run ./cmd/flexlog-bench -quick -blockprofile block.pprof ablate-writepath

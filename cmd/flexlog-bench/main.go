@@ -4,12 +4,12 @@
 // Usage:
 //
 //	flexlog-bench -list
-//	flexlog-bench [-quick] [-chaos] [-duration 2s] [-cpuprofile f] [-memprofile f] <experiment-id>... | all
+//	flexlog-bench [-quick] [-chaos] [-duration 2s] [-cpuprofile f] [-memprofile f] [-blockprofile f] <experiment-id>... | all
 //
 // Experiment ids: table1, fig1, fig4lat, fig4thr, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, ablate-batch, ablate-cache, ablate-readhold,
-// ablate-clientbatch, ablate-readpath, ext-burst, chaos (also runnable
-// via -chaos).
+// ablate-clientbatch, ablate-readpath, ablate-writepath, ext-burst, chaos
+// (also runnable via -chaos).
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 	duration := flag.Duration("duration", 0, "measurement window per point (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the experiment runs to this file")
+	blockprofile := flag.String("blockprofile", "", "write a blocking profile (lock/channel contention) of the experiment runs to this file")
 	flag.Parse()
 
 	if *list {
@@ -58,12 +59,12 @@ func main() {
 
 	// run is a separate function so the profiling defers fire before the
 	// process exits with the failure count.
-	if run(ids, bench.RunConfig{Quick: *quick, Duration: *duration}, *cpuprofile, *memprofile) > 0 {
+	if run(ids, bench.RunConfig{Quick: *quick, Duration: *duration}, *cpuprofile, *memprofile, *blockprofile) > 0 {
 		os.Exit(1)
 	}
 }
 
-func run(ids []string, cfg bench.RunConfig, cpuprofile, memprofile string) int {
+func run(ids []string, cfg bench.RunConfig, cpuprofile, memprofile, blockprofile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -76,6 +77,23 @@ func run(ids []string, cfg bench.RunConfig, cpuprofile, memprofile string) int {
 			return 1
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if blockprofile != "" {
+		// Sample every blocking event: the write path's interesting costs
+		// are lock waits (store index/allocator locks) and channel waits
+		// (lane queues, commit windows), both invisible to the CPU profile.
+		runtime.SetBlockProfileRate(1)
+		defer func() {
+			f, err := os.Create(blockprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blockprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("block").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "blockprofile: %v\n", err)
+			}
+		}()
 	}
 	defer func() {
 		if memprofile == "" {

@@ -81,7 +81,12 @@ func main() {
 			CacheBytes:  *cacheMB << 20,
 			PMModel:     storage.DefaultConfig().PMModel,
 			SSDModel:    storage.DefaultConfig().SSDModel,
+			GroupCommit: true,
 		}
+		// Deployed replicas run the full parallel write path: the keyed
+		// write lane comes with DefaultConfig; group commit and
+		// order-request coalescing are opted into here.
+		cfg.OrderCoalesce = true
 		cfg.ReadHoldTimeout = time.Millisecond
 		cfg.HeartbeatInterval = 100 * time.Millisecond
 		cfg.RetryTimeout = time.Second

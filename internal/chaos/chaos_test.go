@@ -92,7 +92,13 @@ func TestChaosSoak(t *testing.T) {
 	if os.Getenv("FLEXLOG_CHAOS_SOAK") == "" {
 		t.Skip("set FLEXLOG_CHAOS_SOAK=1 to run the 30s chaos soak")
 	}
-	runSoak(t, soakSeed(t), 30*time.Second)
+	dur := 30 * time.Second
+	// A numeric value > 1 is a duration in seconds (e.g. =60 for the
+	// 60 s write-path acceptance soak).
+	if secs, err := strconv.Atoi(os.Getenv("FLEXLOG_CHAOS_SOAK")); err == nil && secs > 1 {
+		dur = time.Duration(secs) * time.Second
+	}
+	runSoak(t, soakSeed(t), dur)
 }
 
 func runSoak(t *testing.T, seed int64, dur time.Duration) {
@@ -102,6 +108,11 @@ func runSoak(t *testing.T, seed int64, dur time.Duration) {
 	// SeqInit acks from ALL region replicas, so a false positive while a
 	// replica is crashed stalls the region for the whole crash window.
 	ccfg.FailureTimeout = 100 * time.Millisecond
+	// Soak the FULL parallel write path: TestClusterConfig already turns
+	// on the write lane and group commit; add order-request coalescing so
+	// lane parallelism, folded PM windows and batched ordering all face
+	// the nemeses together.
+	ccfg.OrderCoalesce = true
 	cl, err := core.TreeCluster(ccfg, 2, 1)
 	if err != nil {
 		t.Fatal(err)

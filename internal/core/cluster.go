@@ -46,6 +46,17 @@ type ClusterConfig struct {
 	// serves reads inline on the serialized delivery loop (the pre-lane
 	// behavior, kept as the ablation baseline).
 	ReadWorkers int
+	// WriteWorkers sizes each replica's keyed write lane (appends/commits
+	// pinned to a worker by color); 0 keeps mutations on the serialized
+	// delivery loop (the ablation baseline).
+	WriteWorkers int
+	// GroupCommit enables the storage layer's PM group-commit engine:
+	// concurrent persistence waits fold into shared transactions.
+	GroupCommit bool
+	// OrderCoalesce batches each replica's order requests per color for
+	// OrderBatchInterval before shipping them as one OrderReqBatch.
+	OrderCoalesce      bool
+	OrderBatchInterval time.Duration
 	// ClientTimeout bounds client operations.
 	ClientTimeout time.Duration
 	// ClientBatch, when non-zero, enables the append batching & pipelining
@@ -74,6 +85,8 @@ func TestClusterConfig() ClusterConfig {
 		RetryTimeout:    30 * time.Millisecond,
 		ReadHoldTimeout: 5 * time.Millisecond,
 		ReadWorkers:     4,
+		WriteWorkers:    4,
+		GroupCommit:     true,
 		ClientTimeout:   10 * time.Second,
 	}
 }
@@ -91,6 +104,10 @@ func BenchClusterConfig() ClusterConfig {
 	cfg.RetryTimeout = 200 * time.Millisecond
 	cfg.ReadHoldTimeout = time.Millisecond // §6.3: "a timeout of 1 ms is safe"
 	cfg.ReadWorkers = 16                   // the testbed's spare cores per replica
+	cfg.WriteWorkers = 16
+	cfg.GroupCommit = true
+	cfg.OrderCoalesce = true
+	cfg.OrderBatchInterval = time.Microsecond // match the sequencer window (§9.1)
 	return cfg
 }
 
@@ -211,8 +228,12 @@ func (cl *Cluster) AddShardWithReplicas(leaf types.ColorID, replicas int) (types
 		rcfg.Shard = shardID
 		rcfg.Topo = cl.topo
 		rcfg.Store = cl.cfg.Storage
+		rcfg.Store.GroupCommit = cl.cfg.GroupCommit
 		rcfg.ReadHoldTimeout = cl.cfg.ReadHoldTimeout
 		rcfg.ReadWorkers = cl.cfg.ReadWorkers
+		rcfg.WriteWorkers = cl.cfg.WriteWorkers
+		rcfg.OrderCoalesce = cl.cfg.OrderCoalesce
+		rcfg.OrderBatchInterval = cl.cfg.OrderBatchInterval
 		rcfg.HeartbeatInterval = cl.cfg.HeartbeatInterval
 		rcfg.RetryTimeout = cl.cfg.RetryTimeout
 		r, err := replica.New(rcfg, cl.net)

@@ -195,6 +195,8 @@ func Example() *Manifest {
 			901: "127.0.0.1:7901",
 			902: "127.0.0.1:7902",
 			500: "127.0.0.1:7500",
+			501: "127.0.0.1:7501",
+			502: "127.0.0.1:7502",
 		},
 		Regions: []RegionSpec{
 			{Color: 0, Leader: 900, Backups: []types.NodeID{901, 902}},

@@ -158,6 +158,38 @@ type OrderResp struct {
 	Color    types.ColorID
 }
 
+// OrderItem is one coalesced order request (one append batch's token).
+type OrderItem struct {
+	Token    types.Token
+	NRecords uint32
+}
+
+// OrderReqBatch carries the order requests a replica accumulated for one
+// color within its coalescing window — the replica→leaf edge batches the
+// same way the sequencer tree already aggregates upward (§5.2). All items
+// share the color and the shard membership.
+type OrderReqBatch struct {
+	Color    types.ColorID
+	Shard    types.ShardID
+	Replicas []types.NodeID
+	Items    []OrderItem
+}
+
+// OrderRespItem is one assignment within an OrderRespBatch.
+type OrderRespItem struct {
+	Token    types.Token
+	LastSN   types.SN
+	NRecords uint32
+}
+
+// OrderRespBatch delivers the assignments for a whole OrderReqBatch (or
+// for the direct members of one shard in an aggregated response) in a
+// single message.
+type OrderRespBatch struct {
+	Color types.ColorID
+	Items []OrderRespItem
+}
+
 // ---- Sequencer tree internals (§5.2 ordering layer) ----
 
 // AggOrderReq is a merged order request forwarded up the sequencer tree:
@@ -311,6 +343,8 @@ func RegisterGob() {
 	gob.Register(MultiAppendAck{})
 	gob.Register(OrderReq{})
 	gob.Register(OrderResp{})
+	gob.Register(OrderReqBatch{})
+	gob.Register(OrderRespBatch{})
 	gob.Register(AggOrderReq{})
 	gob.Register(AggOrderResp{})
 	gob.Register(SeqHeartbeat{})

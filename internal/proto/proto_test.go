@@ -26,6 +26,8 @@ func everyMessage() []interface{} {
 		MultiAppendAck{ID: 1},
 		OrderReq{Color: 1, Token: 2, NRecords: 3, Shard: 4, Replicas: []types.NodeID{5, 6}},
 		OrderResp{Token: 2, LastSN: 3, NRecords: 4, Color: 5},
+		OrderReqBatch{Color: 1, Shard: 2, Replicas: []types.NodeID{3, 4}, Items: []OrderItem{{Token: 5, NRecords: 6}}},
+		OrderRespBatch{Color: 1, Items: []OrderRespItem{{Token: 2, LastSN: 3, NRecords: 4}}},
 		AggOrderReq{Color: 1, BatchID: 2, Total: 3, From: 4},
 		AggOrderResp{BatchID: 2, LastSN: 3, Color: 4},
 		SeqHeartbeat{Epoch: 1, From: 2},
@@ -86,7 +88,7 @@ func normalize(v interface{}) interface{} {
 // TestMessageCountMatchesRegistry keeps everyMessage in sync with the
 // RegisterGob list: a new message type must be added to both.
 func TestMessageCountMatchesRegistry(t *testing.T) {
-	const registered = 30 // keep in lockstep with RegisterGob
+	const registered = 32 // keep in lockstep with RegisterGob
 	if got := len(everyMessage()); got != registered {
 		t.Fatalf("everyMessage has %d entries, RegisterGob registers %d — update both together", got, registered)
 	}

@@ -5,16 +5,19 @@
 // acts as a broker for multi-color appends (Alg. 2), and recovers through
 // the sync-phase protocol (§6.3).
 //
-// Concurrency model (two lanes): mutation traffic — appends, commits,
-// trims, sync, multi-append — is delivered sequentially by the transport's
-// per-endpoint delivery loop and its shared state is guarded by r.mu.
-// Read-class traffic (ReadReq, SubscribeReq) is dispatched to a transport
-// worker pool (Config.ReadWorkers) and runs concurrently; the read path
-// therefore only touches storage (internally synchronized), the per-color
-// atomic watermarks, the lock-striped held-read registry, and atomic
-// counters — never r.mu. See readpath.go for why this preserves
-// linearizability. Timers and multi-append replays run on background
-// goroutines.
+// Concurrency model (three lanes): read-class traffic (ReadReq,
+// SubscribeReq) is dispatched to a transport worker pool
+// (Config.ReadWorkers) and runs concurrently; the read path therefore only
+// touches storage (internally synchronized), the per-color atomic
+// watermarks, the lock-striped held-read registry, and atomic counters —
+// never long-held r.mu. See readpath.go for why this preserves
+// linearizability. Write-class traffic (AppendReq, AppendBatchReq,
+// OrderResp, OrderRespBatch) is dispatched to a keyed write lane
+// (Config.WriteWorkers) that pins each color to one worker: same-color
+// messages stay FIFO while different colors persist and commit in
+// parallel — see writepath.go. Everything else — trims, sync, multi-append
+// — stays on the serialized delivery loop, with shared state guarded by
+// r.mu. Timers and multi-append replays run on background goroutines.
 package replica
 
 import (
@@ -67,6 +70,17 @@ type Config struct {
 	// ReadWorkers sizes the concurrent read/subscribe service lane; 0
 	// serves reads inline on the (serialized) delivery loop.
 	ReadWorkers int
+	// WriteWorkers sizes the keyed write lane: appends/commits are pinned
+	// to a worker by color (FIFO within a color, parallel across colors).
+	// 0 keeps all mutations on the serialized delivery loop.
+	WriteWorkers int
+	// OrderCoalesce batches order requests per color for
+	// OrderBatchInterval before shipping them to the leaf sequencer as one
+	// OrderReqBatch (the replica-edge analogue of §5.2 aggregation).
+	OrderCoalesce bool
+	// OrderBatchInterval is the coalescing window; 0 still batches
+	// whatever accumulated while the flusher was busy.
+	OrderBatchInterval time.Duration
 	// EarlyBound caps the buffer of OrderResps that arrive before their
 	// AppendReq; 0 uses a large default. Tests shrink it to exercise
 	// eviction.
@@ -84,11 +98,13 @@ type Config struct {
 // DefaultConfig returns test-friendly timing parameters.
 func DefaultConfig() Config {
 	return Config{
-		Store:             storage.TestConfig(),
-		ReadHoldTimeout:   time.Millisecond,
-		ReadWorkers:       4,
-		HeartbeatInterval: 5 * time.Millisecond,
-		RetryTimeout:      30 * time.Millisecond,
+		Store:              storage.TestConfig(),
+		ReadHoldTimeout:    time.Millisecond,
+		ReadWorkers:        4,
+		WriteWorkers:       4,
+		OrderBatchInterval: 5 * time.Microsecond,
+		HeartbeatInterval:  5 * time.Millisecond,
+		RetryTimeout:       30 * time.Millisecond,
 	}
 }
 
@@ -128,6 +144,8 @@ type Stats struct {
 	Subscribes   uint64
 	Trims        uint64
 	OReqRetries  uint64
+	AppendDrops  uint64 // appends dropped because persistence failed (was silent)
+	OReqDrops    uint64 // order requests dropped on topology lookup failure (was silent)
 	Syncs        uint64
 	SyncRetries  uint64 // stalled sync-phase stages re-driven (lossy links)
 	SyncAborts   uint64 // wedged sync runs abandoned (peer crashed mid-run)
@@ -148,6 +166,8 @@ type counters struct {
 	subscribes   atomic.Uint64
 	trims        atomic.Uint64
 	oreqRetries  atomic.Uint64
+	appendDrops  atomic.Uint64
+	oreqDrops    atomic.Uint64
 	syncs        atomic.Uint64
 	syncRetries  atomic.Uint64
 	syncAborts   atomic.Uint64
@@ -167,6 +187,8 @@ func (c *counters) snapshot() Stats {
 		Subscribes:   c.subscribes.Load(),
 		Trims:        c.trims.Load(),
 		OReqRetries:  c.oreqRetries.Load(),
+		AppendDrops:  c.appendDrops.Load(),
+		OReqDrops:    c.oreqDrops.Load(),
 		Syncs:        c.syncs.Load(),
 		SyncRetries:  c.syncRetries.Load(),
 		SyncAborts:   c.syncAborts.Load(),
@@ -194,6 +216,7 @@ type Replica struct {
 	maxSeen watermarks   // per-color highest SN observed (commit or sync)
 	held    heldRegistry // parked reads keyed by (color, SN)
 	stats   counters
+	coal    *orderCoalescer // per-color order-request batching (nil = direct)
 
 	mu         sync.Mutex
 	epoch      types.Epoch  // known sequencer epoch (§6.3)
@@ -220,7 +243,7 @@ func New(cfg Config, net *transport.Network) (*Replica, error) {
 		return nil, err
 	}
 	r := newReplica(cfg, st)
-	ep, err := net.RegisterWithLane(cfg.ID, r.handle, r.laneConfig())
+	ep, err := net.RegisterWithLanes(cfg.ID, r.handle, r.lanes())
 	if err != nil {
 		return nil, err
 	}
@@ -231,15 +254,15 @@ func New(cfg Config, net *transport.Network) (*Replica, error) {
 }
 
 // NewWithEndpoint creates a replica over a custom endpoint (TCP mode).
-// Read-class traffic is served by a handler-level worker pool, since the
-// endpoint is not managed by the in-process Network.
+// Read- and write-class traffic is served by handler-level worker pools,
+// since the endpoint is not managed by the in-process Network.
 func NewWithEndpoint(cfg Config, attach func(h transport.Handler) (transport.Endpoint, error)) (*Replica, error) {
 	st, err := buildStore(cfg)
 	if err != nil {
 		return nil, err
 	}
 	r := newReplica(cfg, st)
-	h, _, stop := transport.WithReadLane(r.handle, r.laneConfig())
+	h, _, _, stop := transport.WithLanes(r.handle, r.lanes())
 	r.laneStop = stop
 	ep, err := attach(h)
 	if err != nil {
@@ -274,6 +297,9 @@ func newReplica(cfg Config, st *storage.Store) *Replica {
 		stopCh:   make(chan struct{}),
 	}
 	r.mode.store(ModeOperational)
+	if cfg.OrderCoalesce {
+		r.coal = newOrderCoalescer(r)
+	}
 	if sh, err := cfg.Topo.Shard(cfg.Shard); err == nil {
 		if si, err := cfg.Topo.Sequencer(sh.Leaf); err == nil {
 			r.seqNode = si.Leader
@@ -285,6 +311,10 @@ func newReplica(cfg Config, st *storage.Store) *Replica {
 func (r *Replica) start() {
 	r.wg.Add(1)
 	go r.timerLoop()
+	if r.coal != nil {
+		r.wg.Add(1)
+		go r.coal.loop()
+	}
 }
 
 // ID returns this replica's node id.
@@ -382,6 +412,8 @@ func (r *Replica) handle(from types.NodeID, msg transport.Message) {
 		r.onAppendBatch(from, m)
 	case proto.OrderResp:
 		r.onOrderResp(m)
+	case proto.OrderRespBatch:
+		r.onOrderRespBatch(m)
 	case proto.ReadReq:
 		r.onRead(from, m)
 	case proto.SubscribeReq:
@@ -461,14 +493,21 @@ func (r *Replica) doAppend(from types.NodeID, color types.ColorID, token types.T
 
 	err := r.st.PutBatch(color, token, records)
 	if err != nil && !errors.Is(err, storage.ErrDuplicateToken) {
-		return // out of space or oversized; client times out and retries elsewhere
+		// Out of space or oversized; the client times out and retries
+		// elsewhere. Count it: silent drops made capacity exhaustion look
+		// like network loss.
+		r.stats.appendDrops.Add(1)
+		return
 	}
-	if errors.Is(err, storage.ErrDuplicateToken) {
+	wasDup := errors.Is(err, storage.ErrDuplicateToken)
+	if wasDup {
 		// Already persisted. If also committed, ack immediately.
 		if sn, ok := r.st.TokenSN(token); ok && sn.Valid() {
 			r.ep.Send(client, proto.AppendAck{Token: token, SN: sn})
 			return
 		}
+		// Persisted but not yet committed: fall through so this client is
+		// registered in pending and acked when the OrderResp lands.
 	}
 	r.mu.Lock()
 	if early, ok := r.early[token]; ok {
@@ -493,13 +532,48 @@ func (r *Replica) doAppend(from types.NodeID, color types.ColorID, token types.T
 		}
 	}
 	r.mu.Unlock()
+	if wasDup {
+		// Close the ack gap for persisted-uncommitted duplicates: if the
+		// commit landed between the TokenSN check above and the pending
+		// registration, onOrderResp consumed the old pending entry (acking
+		// only its clients) and will never fire again for this token — the
+		// entry just created would wait for the retry timer to re-drive the
+		// whole round trip. Re-check now that we are registered: seeing a
+		// valid SN means the commit already happened, so ack directly and
+		// retire the stranded entry (any clients that raced into it run
+		// this same re-check themselves).
+		if sn, ok := r.st.TokenSN(token); ok && sn.Valid() {
+			r.mu.Lock()
+			po := r.pending[token]
+			delete(r.pending, token)
+			r.mu.Unlock()
+			acked := map[types.NodeID]bool{client: true}
+			r.ep.Send(client, proto.AppendAck{Token: token, SN: sn})
+			if po != nil {
+				for c := range po.clients {
+					if !acked[c] {
+						r.ep.Send(c, proto.AppendAck{Token: token, SN: sn})
+					}
+				}
+			}
+			return
+		}
+	}
 	r.sendOrderReq(token, color, uint32(len(records)))
 }
 
-// sendOrderReq issues the round-2 order request to the leaf sequencer.
+// sendOrderReq issues the round-2 order request to the leaf sequencer,
+// either directly or through the per-color coalescer.
 func (r *Replica) sendOrderReq(token types.Token, color types.ColorID, n uint32) {
+	if r.coal != nil {
+		r.coal.enqueue(color, proto.OrderItem{Token: token, NRecords: n})
+		return
+	}
 	sh, err := r.topo.Shard(r.cfg.Shard)
 	if err != nil {
+		// Dropped here means the append stalls until the retry timer; count
+		// it instead of failing silently.
+		r.stats.oreqDrops.Add(1)
 		return
 	}
 	req := proto.OrderReq{

@@ -125,7 +125,8 @@ type tokenState struct {
 // Stats counts ordering-layer activity.
 type Stats struct {
 	Assigned     uint64 // SNs issued by this node as region owner
-	DirectReqs   uint64 // order requests received from replicas
+	DirectReqs   uint64 // order requests received from replicas (incl. batch items)
+	ReqBatches   uint64 // coalesced OrderReqBatch messages received
 	ChildReqs    uint64 // aggregated requests received from children
 	BatchesSent  uint64 // aggregated requests sent to the parent
 	Resends      uint64
@@ -319,6 +320,8 @@ func (s *Sequencer) handle(from types.NodeID, msg transport.Message) {
 	switch m := msg.(type) {
 	case proto.OrderReq:
 		s.onOrderReq(m)
+	case proto.OrderReqBatch:
+		s.onOrderReqBatch(from, m)
 	case proto.AggOrderReq:
 		s.onAggOrderReq(m)
 	case proto.AggOrderResp:
@@ -385,6 +388,61 @@ func (s *Sequencer) onOrderReq(req proto.OrderReq) {
 	s.kickFlusher()
 }
 
+// onOrderReqBatch handles a replica's coalesced order requests: all items
+// share one color and one shard, so the whole batch takes a single pass
+// under the lock and — on the owner — answers with a single OrderRespBatch
+// broadcast instead of one OrderResp per token. Dup handling preserves the
+// per-token semantics of onOrderReq: already-assigned items are re-answered
+// to the SENDER only (the original assignment was already broadcast to the
+// whole shard; a retrying replica just missed it), items still pending in a
+// batch get no reply (the owner's answer will reach the shard), and fresh
+// items are assigned or aggregated upward as individual members so the
+// existing AggOrderReq machinery splits ranges exactly as before.
+func (s *Sequencer) onOrderReqBatch(from types.NodeID, m proto.OrderReqBatch) {
+	s.mu.Lock()
+	if s.role != RoleLeader || !s.serving {
+		s.stats.DroppedStale++
+		s.mu.Unlock()
+		return
+	}
+	s.stats.ReqBatches++
+	s.stats.DirectReqs += uint64(len(m.Items))
+	owner := m.Color == s.cfg.Region
+	var fresh []proto.OrderRespItem // owner-path assignments → broadcast
+	var dups []proto.OrderRespItem  // already-assigned retries → sender only
+	queued := false
+	for _, it := range m.Items {
+		if st, ok := s.tokens[it.Token]; ok {
+			s.stats.DupTokens++
+			if st.assigned {
+				dups = append(dups, proto.OrderRespItem{Token: it.Token, LastSN: st.lastSN, NRecords: it.NRecords})
+			}
+			continue
+		}
+		if owner {
+			last := s.assignLocked(it.NRecords)
+			s.rememberTokenLocked(it.Token, &tokenState{assigned: true, lastSN: last})
+			fresh = append(fresh, proto.OrderRespItem{Token: it.Token, LastSN: last, NRecords: it.NRecords})
+			continue
+		}
+		req := &proto.OrderReq{Color: m.Color, Token: it.Token, NRecords: it.NRecords, Shard: m.Shard, Replicas: m.Replicas}
+		s.rememberTokenLocked(it.Token, &tokenState{req: req})
+		s.enqueueLocked(m.Color, member{req: req, n: it.NRecords})
+		queued = true
+	}
+	replicas := m.Replicas
+	s.mu.Unlock()
+	if len(fresh) > 0 {
+		s.ep.Broadcast(replicas, proto.OrderRespBatch{Color: m.Color, Items: fresh})
+	}
+	if len(dups) > 0 {
+		s.ep.Send(from, proto.OrderRespBatch{Color: m.Color, Items: dups})
+	}
+	if queued {
+		s.kickFlusher()
+	}
+}
+
 func (s *Sequencer) onAggOrderReq(m proto.AggOrderReq) {
 	s.mu.Lock()
 	if s.role != RoleLeader || !s.serving {
@@ -424,15 +482,22 @@ func (s *Sequencer) onAggOrderResp(m proto.AggOrderResp) {
 	// order (§5.2: "assigns all SNs in the range … which are distributed
 	// to their respective origin").
 	running := m.LastSN - types.SN(inf.total)
-	type directOut struct {
-		resp     proto.OrderResp
+	// Direct members are grouped per replica set so the downward leg is
+	// batched too: one OrderRespBatch broadcast per shard in the window
+	// instead of one OrderResp broadcast per token. The grouping key is the
+	// destination set itself (not the shard id), so requests that leave the
+	// shard field unset — ordering-only drivers, older clients — still each
+	// reach their own requester.
+	type shardOut struct {
 		replicas []types.NodeID
+		items    []proto.OrderRespItem
 	}
 	type childOut struct {
 		resp proto.AggOrderResp
 		to   types.NodeID
 	}
-	var directs []directOut
+	var groupOrder []string
+	byGroup := make(map[string]*shardOut)
 	var children []childOut
 	for _, mem := range inf.members {
 		running += types.SN(mem.n)
@@ -442,10 +507,14 @@ func (s *Sequencer) onAggOrderResp(m proto.AggOrderResp) {
 				st.lastSN = running
 				st.req = nil
 			}
-			directs = append(directs, directOut{
-				resp:     proto.OrderResp{Token: mem.req.Token, LastSN: running, NRecords: mem.n, Color: inf.color},
-				replicas: mem.req.Replicas,
-			})
+			key := replicaSetKey(mem.req.Shard, mem.req.Replicas)
+			so := byGroup[key]
+			if so == nil {
+				so = &shardOut{replicas: mem.req.Replicas}
+				byGroup[key] = so
+				groupOrder = append(groupOrder, key)
+			}
+			so.items = append(so.items, proto.OrderRespItem{Token: mem.req.Token, LastSN: running, NRecords: mem.n})
 		} else {
 			children = append(children, childOut{
 				resp: proto.AggOrderResp{BatchID: mem.child.batchID, LastSN: running, Color: inf.color},
@@ -454,12 +523,30 @@ func (s *Sequencer) onAggOrderResp(m proto.AggOrderResp) {
 		}
 	}
 	s.mu.Unlock()
-	for _, d := range directs {
-		s.ep.Broadcast(d.replicas, d.resp)
+	for _, key := range groupOrder {
+		so := byGroup[key]
+		if len(so.items) == 1 {
+			// Single member: keep the compact legacy frame.
+			it := so.items[0]
+			s.ep.Broadcast(so.replicas, proto.OrderResp{Token: it.Token, LastSN: it.LastSN, NRecords: it.NRecords, Color: inf.color})
+			continue
+		}
+		s.ep.Broadcast(so.replicas, proto.OrderRespBatch{Color: inf.color, Items: so.items})
 	}
 	for _, c := range children {
 		s.ep.Send(c.to, c.resp)
 	}
+}
+
+// replicaSetKey builds the response-grouping key for one order request's
+// destination set.
+func replicaSetKey(shard types.ShardID, replicas []types.NodeID) string {
+	b := make([]byte, 0, 4+4*len(replicas))
+	b = append(b, byte(shard), byte(shard>>8), byte(shard>>16), byte(shard>>24))
+	for _, id := range replicas {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
 }
 
 // assignLocked advances the counter by n and returns the SN of the last

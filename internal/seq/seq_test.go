@@ -30,6 +30,12 @@ func newFakeReplica(t *testing.T, net *transport.Network, id types.NodeID) *fake
 			r.mu.Lock()
 			r.resps = append(r.resps, m)
 			r.mu.Unlock()
+		case proto.OrderRespBatch:
+			r.mu.Lock()
+			for _, it := range m.Items {
+				r.resps = append(r.resps, proto.OrderResp{Token: it.Token, LastSN: it.LastSN, NRecords: it.NRecords, Color: m.Color})
+			}
+			r.mu.Unlock()
 		case proto.SeqInit:
 			r.mu.Lock()
 			r.inits = append(r.inits, m)

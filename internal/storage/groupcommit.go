@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"flexlog/internal/pmem"
+)
+
+// ErrCommitterClosed is returned for writes submitted after Close.
+var ErrCommitterClosed = errors.New("storage: group committer closed")
+
+// groupCommitter is the PM group-commit engine (§5.2 sizing argument: PM
+// latency, not software serialization, should bound append throughput).
+// Concurrent PutBatch/Commit callers submit their PM writes and block on a
+// per-op done channel; a single committer goroutine drains whatever
+// accumulated while the previous window was in flight and folds it into
+// ONE pmem transaction — the classic group commit, amortizing the
+// per-transaction overhead (undo-log snapshot + flush) across the window.
+//
+// Two further write reductions fall out of the window shape:
+//
+//   - contiguous fusion: entries reserved back-to-back in the same segment
+//     occupy adjacent PM ranges, so their payload writes merge into one
+//     tx.Put (one undo snapshot + one data write instead of N of each);
+//   - watermark folding: each segment's used-bytes watermark is written
+//     once per window, at its final value, instead of once per entry.
+//
+// Correctness of the watermark relies on ordering: ops are enqueued in
+// reservation order (the callers hold the allocator lock across submit),
+// the channel is FIFO and there is a single committer, so a watermark
+// value is only made durable in the same transaction as — or after — every
+// entry it covers. A crash mid-window rolls the whole window back via the
+// pmem undo log: every caller in the window is still blocked (no ack was
+// sent), so nothing acknowledged is lost.
+type groupCommitter struct {
+	pm *pmem.Pool
+	ch chan gcOp
+
+	closeMu sync.RWMutex
+	closed  bool
+	done    chan struct{}
+
+	windows atomic.Uint64 // transactions committed
+	ops     atomic.Uint64 // writes submitted
+	fused   atomic.Uint64 // payload writes saved by contiguous fusion
+}
+
+// gcOp is one submitted PM write: the entry (or SN-rewrite) bytes plus an
+// optional watermark update for the segment that received the entry.
+type gcOp struct {
+	off   uint64 // absolute PM offset of the write
+	buf   []byte
+	hasWM bool   // append ops advance their segment's watermark
+	wmOff uint64 // segment base offset (the watermark cell)
+	wmVal uint64 // watermark value after this entry
+	done  chan error
+}
+
+// maxWindow bounds ops folded into one transaction, so a burst cannot
+// build an unboundedly large undo log.
+const maxWindow = 512
+
+func newGroupCommitter(pm *pmem.Pool) *groupCommitter {
+	g := &groupCommitter{pm: pm, ch: make(chan gcOp, 4096), done: make(chan struct{})}
+	go g.loop()
+	return g
+}
+
+// submit enqueues one write and returns a wait function that blocks until
+// the write's window is durable (or failed). Submitting under the
+// allocator lock and waiting after releasing it is what lets concurrent
+// callers share a window.
+func (g *groupCommitter) submit(off uint64, buf []byte, hasWM bool, wmOff, wmVal uint64) func() error {
+	op := gcOp{off: off, buf: buf, hasWM: hasWM, wmOff: wmOff, wmVal: wmVal, done: make(chan error, 1)}
+	g.closeMu.RLock()
+	if g.closed {
+		g.closeMu.RUnlock()
+		return func() error { return ErrCommitterClosed }
+	}
+	g.ops.Add(1)
+	g.ch <- op
+	g.closeMu.RUnlock()
+	return func() error { return <-op.done }
+}
+
+func (g *groupCommitter) loop() {
+	defer close(g.done)
+	for first := range g.ch {
+		window := []gcOp{first}
+	drain:
+		for len(window) < maxWindow {
+			select {
+			case op, ok := <-g.ch:
+				if !ok {
+					break drain
+				}
+				window = append(window, op)
+			default:
+				break drain
+			}
+		}
+		err := g.commitWindow(window)
+		for _, op := range window {
+			op.done <- err
+		}
+	}
+	// Channel closed: the range loop above has already drained and
+	// committed every op buffered before close().
+}
+
+// commitWindow folds the window into one transaction.
+func (g *groupCommitter) commitWindow(window []gcOp) error {
+	tx, err := g.pm.Begin()
+	if err != nil {
+		return err
+	}
+	// Contiguous fusion: merge runs of ops whose PM ranges are adjacent in
+	// submission order (back-to-back reservations in one segment).
+	for i := 0; i < len(window); {
+		j := i + 1
+		total := len(window[i].buf)
+		for j < len(window) && window[j].off == window[j-1].off+uint64(len(window[j-1].buf)) {
+			total += len(window[j].buf)
+			j++
+		}
+		buf := window[i].buf
+		if j-i > 1 {
+			fused := make([]byte, 0, total)
+			for k := i; k < j; k++ {
+				fused = append(fused, window[k].buf...)
+			}
+			buf = fused
+			g.fused.Add(uint64(j - i - 1))
+		}
+		if err := tx.Put(window[i].off, buf); err != nil {
+			tx.Abort()
+			return err
+		}
+		i = j
+	}
+	// Watermark folding: one write per segment, at the window's final
+	// value (ops are in reservation order, so the last value is the max).
+	wmOrder := make([]uint64, 0, 4)
+	wmVal := make(map[uint64]uint64, 4)
+	for _, op := range window {
+		if !op.hasWM {
+			continue
+		}
+		if _, seen := wmVal[op.wmOff]; !seen {
+			wmOrder = append(wmOrder, op.wmOff)
+		}
+		wmVal[op.wmOff] = op.wmVal
+	}
+	var wm [8]byte
+	for _, off := range wmOrder {
+		binary.LittleEndian.PutUint64(wm[:], wmVal[off])
+		if err := tx.Put(off, wm[:]); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	g.windows.Add(1)
+	return nil
+}
+
+// close stops the committer after draining queued ops. Idempotent.
+func (g *groupCommitter) close() {
+	g.closeMu.Lock()
+	if g.closed {
+		g.closeMu.Unlock()
+		return
+	}
+	g.closed = true
+	g.closeMu.Unlock()
+	close(g.ch)
+	<-g.done
+}
+
+// GCStats reports group-commit counters.
+type GCStats struct {
+	Windows uint64 // PM transactions committed
+	Ops     uint64 // writes submitted
+	Fused   uint64 // payload writes saved by contiguous fusion
+}
+
+func (g *groupCommitter) stats() GCStats {
+	return GCStats{Windows: g.windows.Load(), Ops: g.ops.Load(), Fused: g.fused.Load()}
+}

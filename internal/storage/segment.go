@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync/atomic"
 
 	"flexlog/internal/types"
 )
@@ -35,18 +36,34 @@ const (
 )
 
 // segment is the DRAM descriptor of one PM segment slot.
+//
+// Ownership: id and pmOff are immutable; used, total, sealed and tokens are
+// guarded by the store's allocator lock. slot and live are atomics because
+// the lock-free read path (Get/readLive) consults slot to pick the device
+// tier, and commits/trims of different colors adjust live concurrently
+// while holding only their color lock.
 type segment struct {
 	id     uint64        // monotonically increasing; names the SSD file when flushed
-	slot   int           // index of the PM slot currently holding it (-1 if flushed)
+	slot   atomic.Int64  // index of the PM slot currently holding it (-1 if flushed)
 	pmOff  uint64        // base offset of the slot in the pmem pool
 	used   uint64        // bytes used including header (mirrors the PM watermark)
-	live   int           // entries not yet trimmed
+	live   atomic.Int64  // entries not yet trimmed
 	total  int           // entries appended
 	sealed bool          // no more appends (slot full)
 	tokens []types.Token // tokens of entries in this segment (for reclamation)
 }
 
-func (s *segment) flushed() bool { return s.slot < 0 }
+// newSegment builds a descriptor; slot is -1 for flushed (SSD-only) segments.
+func newSegment(id uint64, slot int, pmOff, used uint64) *segment {
+	s := &segment{id: id, pmOff: pmOff, used: used}
+	s.slot.Store(int64(slot))
+	return s
+}
+
+func (s *segment) flushed() bool { return s.slot.Load() < 0 }
+
+// slotIdx returns the PM slot index; only meaningful when !flushed().
+func (s *segment) slotIdx() int { return int(s.slot.Load()) }
 
 func (s *segment) ssdName() string { return fmt.Sprintf("seg-%d", s.id) }
 
@@ -57,6 +74,12 @@ type recSpan struct {
 }
 
 // entryLoc records where an entry (one append batch) lives.
+//
+// seg, off, payloadLen, spans, token and color are immutable after
+// construction. The remaining fields are atomics: they are mutated under
+// the entry's color lock (Commit and Trim of one color are serialized),
+// but read lock-free by the allocator paths (segmentFlushable, TokenInfo,
+// Uncommitted) which hold only the allocator lock.
 type entryLoc struct {
 	seg        *segment
 	off        uint64 // offset of the entry header within the segment
@@ -64,16 +87,28 @@ type entryLoc struct {
 	spans      []recSpan
 	token      types.Token
 	color      types.ColorID
-	firstSN    types.SN // InvalidSN until committed; records occupy [firstSN, firstSN+count)
-	liveCount  int      // records not yet trimmed (== len(spans) initially)
-	dead       bool     // every record trimmed
+	firstSN    atomic.Uint64 // InvalidSN (0) until committed; records occupy [firstSN, firstSN+count)
+	liveCount  atomic.Int32  // records not yet trimmed (== len(spans) initially)
+	dead       atomic.Bool   // every record trimmed
 }
 
 func (l *entryLoc) count() int { return len(l.spans) }
 
+// first returns the committed first SN (InvalidSN while uncommitted).
+func (l *entryLoc) first() types.SN { return types.SN(l.firstSN.Load()) }
+
 // lastSN returns the SN of the final record of the batch.
 func (l *entryLoc) lastSN() types.SN {
-	return l.firstSN + types.SN(l.count()-1)
+	return l.first() + types.SN(l.count()-1)
+}
+
+// kill marks one record of the entry dead; when the last record dies the
+// whole entry is retired and the segment's live count drops. Safe under
+// any lock regime: the dead transition is a CAS.
+func (l *entryLoc) kill() {
+	if l.liveCount.Add(-1) == 0 && l.dead.CompareAndSwap(false, true) {
+		l.seg.live.Add(-1)
+	}
 }
 
 // recordRef points at one record of a batch entry.
@@ -162,58 +197,89 @@ func decodeEntryHeader(buf []byte) decodedEntry {
 	}
 }
 
-// appendEntry writes one entry into the segment's PM slot and advances the
-// watermark, all inside a single pmem transaction. Returns the entry offset
-// within the segment.
-func (st *Store) appendEntry(seg *segment, kind uint32, color types.ColorID, token types.Token, sn types.SN, data []byte) (uint64, error) {
-	need := entrySize(len(data))
-	if seg.used+need > st.cfg.SegmentSize {
-		return 0, errSegmentFull
-	}
+// encodeEntry frames one entry (header + payload) ready for the PM write.
+func encodeEntry(kind uint32, color types.ColorID, token types.Token, sn types.SN, data []byte) []byte {
 	buf := make([]byte, entryHeaderSize+len(data))
 	encodeEntryHeader(buf, kind, color, token, sn, data)
 	copy(buf[entryHeaderSize:], data)
-
-	tx, err := st.pm.Begin()
-	if err != nil {
-		return 0, err
-	}
-	entryOff := seg.used
-	if err := tx.Put(seg.pmOff+entryOff, buf); err != nil {
-		tx.Abort()
-		return 0, err
-	}
-	var wm [8]byte
-	binary.LittleEndian.PutUint64(wm[:], seg.used+need)
-	if err := tx.Put(seg.pmOff, wm[:]); err != nil {
-		tx.Abort()
-		return 0, err
-	}
-	if err := tx.Commit(); err != nil {
-		return 0, err
-	}
-	seg.used += need
-	seg.total++
-	if kind == entryKindRecord {
-		seg.live++
-	}
-	return entryOff, nil
+	return buf
 }
 
-// commitEntrySN rewrites the sn field of an entry in place (transactional).
+// reserveEntry claims space for one entry in the active segment, sealing it
+// and rolling to a fresh one when full. It only advances the DRAM frontier;
+// the PM bytes (entry + watermark) are written afterwards, either directly
+// or through the group committer. Caller holds st.alloc.
+func (st *Store) reserveEntry(need uint64) (*segment, uint64, error) {
+	if st.active.used+need > st.cfg.SegmentSize {
+		st.active.sealed = true
+		if err := st.newActiveSegment(); err != nil {
+			return nil, 0, err
+		}
+	}
+	seg := st.active
+	off := seg.used
+	seg.used += need
+	seg.total++
+	return seg, off, nil
+}
+
+// writeEntryDirect persists a reserved entry and advances the segment's PM
+// watermark inside one pmem transaction — the serial path used when group
+// commit is disabled. Caller holds st.alloc, so entries of one segment
+// become durable in reservation order (the watermark never covers torn
+// bytes).
+func (st *Store) writeEntryDirect(seg *segment, off uint64, buf []byte) error {
+	tx, err := st.pm.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.Put(seg.pmOff+off, buf); err != nil {
+		tx.Abort()
+		return err
+	}
+	var wm [8]byte
+	binary.LittleEndian.PutUint64(wm[:], off+uint64(len(buf)))
+	if err := tx.Put(seg.pmOff, wm[:]); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// persistEntry makes a reserved entry durable via the group committer when
+// enabled, else directly. Called with st.alloc held; when group commit is
+// on it returns a wait function the caller invokes after releasing the
+// lock (enqueue order under the lock = reservation order, so the committer
+// sees each segment's entries in frontier order).
+func (st *Store) persistEntry(seg *segment, off uint64, buf []byte) (wait func() error, err error) {
+	if st.gc != nil {
+		return st.gc.submit(seg.pmOff+off, buf, true, seg.pmOff, off+uint64(len(buf))), nil
+	}
+	return nil, st.writeEntryDirect(seg, off, buf)
+}
+
+// commitEntrySN rewrites the sn field of an entry in place (transactional,
+// or folded into the current group-commit window). Caller holds the
+// entry's color lock and the entry is still uncommitted, so its segment is
+// pinned in PM (segmentFlushable refuses segments with uncommitted
+// entries) and the in-place write cannot race a slot reuse.
 func (st *Store) commitEntrySN(loc *entryLoc, sn types.SN) error {
 	if loc.seg.flushed() {
 		// A record can only be flushed once committed; uncommitted entries
 		// always stay in PM.
 		return fmt.Errorf("storage: commit of flushed entry %v", loc.token)
 	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(sn))
+	off := loc.seg.pmOff + loc.off + 16
+	if st.gc != nil {
+		return st.gc.submit(off, buf[:], false, 0, 0)()
+	}
 	tx, err := st.pm.Begin()
 	if err != nil {
 		return err
 	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(sn))
-	if err := tx.Put(loc.seg.pmOff+loc.off+16, buf[:]); err != nil {
+	if err := tx.Put(off, buf[:]); err != nil {
 		tx.Abort()
 		return err
 	}

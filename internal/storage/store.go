@@ -12,6 +12,20 @@
 // the batch is framed into a single crash-consistent entry and, once the
 // ordering layer assigns the batch its SN range, each record is indexed at
 // its own sequence number.
+//
+// Concurrency model (the parallel write path): the store is sharded by
+// color. Each color's volatile index (bySN, maxSN, trimmed) has its own
+// RWMutex, so commits, trims and reads of different colors never contend.
+// A narrow allocator lock (st.alloc) guards the shared segment machinery:
+// slot table, active segment, the token index, and segment bookkeeping.
+// Lock order is color lock → allocator lock; nothing acquires a color lock
+// while holding the allocator lock (Crash/Recover, which need both, take
+// every color lock first). Mutable per-entry state (firstSN, liveCount,
+// dead) and the per-segment slot/live fields are atomics: they are written
+// under the owning color's lock but read lock-free from allocator paths.
+// With Config.GroupCommit set, PM writes additionally flow through a
+// group-commit engine (see groupcommit.go) instead of paying one pmem
+// transaction each.
 package storage
 
 import (
@@ -37,8 +51,6 @@ var (
 	ErrUnknownToken = errors.New("storage: unknown token")
 	// ErrOutOfSpace is returned when PM is full and nothing can be flushed.
 	ErrOutOfSpace = errors.New("storage: out of space")
-
-	errSegmentFull = errors.New("storage: segment full")
 )
 
 // Config sizes the storage stack.
@@ -46,6 +58,7 @@ type Config struct {
 	SegmentSize uint64 // bytes per PM segment (including 16-byte header)
 	NumSegments int    // PM slots
 	CacheBytes  int    // DRAM cache capacity; 0 disables the cache
+	GroupCommit bool   // fold concurrent PM writes into shared transactions
 	PMModel     pmem.LatencyModel
 	SSDModel    ssd.LatencyModel
 }
@@ -77,28 +90,67 @@ type Batch struct {
 	Records [][]byte
 }
 
-// colorIndex is the per-color volatile view of the log.
+// colorIndex is the per-color volatile view of the log, with its own lock:
+// the write path's per-color sharding means operations on different colors
+// touch disjoint colorIndexes.
 type colorIndex struct {
+	mu      sync.RWMutex
 	bySN    map[types.SN]recordRef
 	maxSN   types.SN
 	trimmed types.SN // records with sn <= trimmed are gone
+}
+
+// lookupLocked resolves sn to its record ref. Caller holds ci.mu.
+func (ci *colorIndex) lookupLocked(sn types.SN) (recordRef, error) {
+	if sn <= ci.trimmed {
+		return recordRef{}, ErrTrimmed
+	}
+	ref, ok := ci.bySN[sn]
+	if !ok {
+		return recordRef{}, ErrNotFound
+	}
+	return ref, nil
+}
+
+// boundsLocked returns the [head, tail] SN pair. Caller holds ci.mu.
+func (ci *colorIndex) boundsLocked() (head, tail types.SN) {
+	if len(ci.bySN) == 0 {
+		return types.InvalidSN, types.InvalidSN
+	}
+	first := true
+	for sn := range ci.bySN {
+		if first || sn < head {
+			head = sn
+		}
+		first = false
+	}
+	return head, ci.maxSN
 }
 
 // Store is one replica's storage server.
 type Store struct {
 	cfg Config
 
-	mu       sync.RWMutex
-	pm       *pmem.Pool
-	dev      *ssd.Device
-	cache    *stripedCache
+	pm    *pmem.Pool
+	dev   *ssd.Device
+	cache *stripedCache
+	gc    *groupCommitter // nil unless cfg.GroupCommit
+
+	// colors maps ColorID -> *colorIndex; entries are created on first use
+	// and never removed (Recover clears them in place under their locks).
+	colors sync.Map
+
+	// alloc is the narrow segment-allocator lock: it guards the slot
+	// table, the segment map, the active segment and its DRAM frontier,
+	// the token index, and the flush/recover counters. Acquired after a
+	// color lock, never before one.
+	alloc    sync.RWMutex
 	slots    []uint64   // pm offset of each slot
 	slotSeg  []*segment // segment currently occupying each slot (nil = free)
 	segs     map[uint64]*segment
 	active   *segment
 	nextSeg  uint64
 	byToken  map[types.Token]*entryLoc
-	byColor  map[types.ColorID]*colorIndex
 	flushes  uint64
 	recovers uint64
 }
@@ -129,7 +181,6 @@ func NewWithDevices(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error
 		cache:   newStripedCache(cfg.CacheBytes),
 		segs:    make(map[uint64]*segment),
 		byToken: make(map[types.Token]*entryLoc),
-		byColor: make(map[types.ColorID]*colorIndex),
 		nextSeg: 1,
 	}
 	for i := 0; i < cfg.NumSegments; i++ {
@@ -143,21 +194,41 @@ func NewWithDevices(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error
 	if err := st.newActiveSegment(); err != nil {
 		return nil, err
 	}
+	if cfg.GroupCommit {
+		st.gc = newGroupCommitter(pool)
+	}
 	return st, nil
 }
 
-func (st *Store) color(c types.ColorID) *colorIndex {
-	ci := st.byColor[c]
-	if ci == nil {
-		ci = &colorIndex{bySN: make(map[types.SN]recordRef)}
-		st.byColor[c] = ci
+// Close stops the group committer (if any), draining queued writes. The
+// store remains readable; further writes fail with ErrCommitterClosed.
+func (st *Store) Close() {
+	if st.gc != nil {
+		st.gc.close()
 	}
-	return ci
+}
+
+// color returns (creating on first use) the color's index.
+func (st *Store) color(c types.ColorID) *colorIndex {
+	if v, ok := st.colors.Load(c); ok {
+		return v.(*colorIndex)
+	}
+	v, _ := st.colors.LoadOrStore(c, &colorIndex{bySN: make(map[types.SN]recordRef)})
+	return v.(*colorIndex)
+}
+
+// colorIfExists returns the color's index without creating one.
+func (st *Store) colorIfExists(c types.ColorID) (*colorIndex, bool) {
+	v, ok := st.colors.Load(c)
+	if !ok {
+		return nil, false
+	}
+	return v.(*colorIndex), true
 }
 
 // newActiveSegment claims a free slot (flushing the oldest committed
 // segment if none is free) and installs a fresh segment in it.
-// Caller holds st.mu.
+// Caller holds st.alloc.
 func (st *Store) newActiveSegment() error {
 	slot := -1
 	for i, s := range st.slotSeg {
@@ -173,7 +244,7 @@ func (st *Store) newActiveSegment() error {
 			return err
 		}
 	}
-	seg := &segment{id: st.nextSeg, slot: slot, pmOff: st.slots[slot], used: segHeaderSize}
+	seg := newSegment(st.nextSeg, slot, st.slots[slot], segHeaderSize)
 	st.nextSeg++
 	var hdr [segHeaderSize]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], segHeaderSize)
@@ -190,12 +261,12 @@ func (st *Store) newActiveSegment() error {
 // flushOldest frees one PM slot: a fully-trimmed (dead) segment is simply
 // reclaimed; otherwise the oldest fully-committed sealed segment is flushed
 // to the SSD ("a contiguous portion from the start of the log is flushed to
-// SSD and removed from PM", §5.2). Caller holds st.mu.
+// SSD and removed from PM", §5.2). Caller holds st.alloc.
 func (st *Store) flushOldest() (int, error) {
 	// Prefer reclaiming a dead segment — trimmed data needs no SSD write.
 	var dead *segment
 	for _, seg := range st.segs {
-		if seg.flushed() || seg == st.active || seg.live > 0 {
+		if seg.flushed() || seg == st.active || seg.live.Load() > 0 {
 			continue
 		}
 		if !st.segmentFlushable(seg) {
@@ -206,7 +277,7 @@ func (st *Store) flushOldest() (int, error) {
 		}
 	}
 	if dead != nil {
-		slot := dead.slot
+		slot := dead.slotIdx()
 		st.dropSegmentLocked(dead)
 		return slot, nil
 	}
@@ -239,8 +310,8 @@ func (st *Store) flushOldest() (int, error) {
 	if err := st.dev.Sync(name); err != nil {
 		return -1, err
 	}
-	slot := victim.slot
-	victim.slot = -1
+	slot := victim.slotIdx()
+	victim.slot.Store(-1)
 	st.slotSeg[slot] = nil
 	st.flushes++
 	return slot, nil
@@ -248,10 +319,12 @@ func (st *Store) flushOldest() (int, error) {
 
 // segmentFlushable reports whether every live entry of the segment is
 // committed (uncommitted entries must stay in PM because their sn field is
-// still mutable).
+// still mutable — and, under group commit, possibly not yet durable).
+// Caller holds st.alloc; the per-entry fields are atomics because commits
+// of any color may be setting them concurrently under their color lock.
 func (st *Store) segmentFlushable(seg *segment) bool {
 	for _, tok := range seg.tokens {
-		if loc := st.byToken[tok]; loc != nil && loc.seg == seg && !loc.dead && !loc.firstSN.Valid() {
+		if loc := st.byToken[tok]; loc != nil && loc.seg == seg && !loc.dead.Load() && !loc.first().Valid() {
 			return false
 		}
 	}
@@ -259,15 +332,15 @@ func (st *Store) segmentFlushable(seg *segment) bool {
 }
 
 // dropSegmentLocked removes a fully-dead segment and all token index
-// entries pointing into it. Caller holds st.mu.
+// entries pointing into it. Caller holds st.alloc.
 func (st *Store) dropSegmentLocked(seg *segment) {
 	for _, tok := range seg.tokens {
 		if loc := st.byToken[tok]; loc != nil && loc.seg == seg {
 			delete(st.byToken, tok)
 		}
 	}
-	if seg.slot >= 0 {
-		st.slotSeg[seg.slot] = nil
+	if !seg.flushed() {
+		st.slotSeg[seg.slotIdx()] = nil
 	}
 	delete(st.segs, seg.id)
 }
@@ -280,44 +353,65 @@ func (st *Store) Put(color types.ColorID, token types.Token, data []byte) error 
 // PutBatch persists an uncommitted append batch (Alg. 1 line 17:
 // "persist(records[], t)"). Duplicate tokens are rejected so append retries
 // are idempotent.
+//
+// The allocator lock is held only across the duplicate check and the
+// segment-space reservation; with group commit enabled the PM write itself
+// is awaited after release, so concurrent appends (different colors on the
+// write lane, plus the sync path) share one transaction window.
 func (st *Store) PutBatch(color types.ColorID, token types.Token, records [][]byte) error {
 	if len(records) == 0 {
 		return fmt.Errorf("storage: empty batch for token %v", token)
 	}
 	payload := encodeBatch(records)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, ok := st.byToken[token]; ok {
-		return ErrDuplicateToken
-	}
-	if entrySize(len(payload)) > st.cfg.SegmentSize-segHeaderSize {
-		return fmt.Errorf("storage: batch of %d bytes exceeds segment capacity", len(payload))
-	}
-	off, err := st.appendEntry(st.active, entryKindRecord, color, token, types.InvalidSN, payload)
-	if errors.Is(err, errSegmentFull) {
-		st.active.sealed = true
-		if err = st.newActiveSegment(); err != nil {
-			return err
-		}
-		off, err = st.appendEntry(st.active, entryKindRecord, color, token, types.InvalidSN, payload)
-	}
-	if err != nil {
-		return err
-	}
 	spans, err := batchSpans(payload)
 	if err != nil {
 		return err
 	}
-	st.byToken[token] = &entryLoc{
-		seg:        st.active,
+	buf := encodeEntry(entryKindRecord, color, token, types.InvalidSN, payload)
+
+	st.alloc.Lock()
+	if _, ok := st.byToken[token]; ok {
+		st.alloc.Unlock()
+		return ErrDuplicateToken
+	}
+	if entrySize(len(payload)) > st.cfg.SegmentSize-segHeaderSize {
+		st.alloc.Unlock()
+		return fmt.Errorf("storage: batch of %d bytes exceeds segment capacity", len(payload))
+	}
+	seg, off, err := st.reserveEntry(uint64(len(buf)))
+	if err != nil {
+		st.alloc.Unlock()
+		return err
+	}
+	loc := &entryLoc{
+		seg:        seg,
 		off:        off,
 		payloadLen: len(payload),
 		spans:      spans,
 		token:      token,
 		color:      color,
-		liveCount:  len(spans),
 	}
-	st.active.tokens = append(st.active.tokens, token)
+	loc.liveCount.Store(int32(len(spans)))
+	st.byToken[token] = loc
+	seg.tokens = append(seg.tokens, token)
+	seg.live.Add(1)
+	wait, err := st.persistEntry(seg, off, buf)
+	st.alloc.Unlock()
+	if wait != nil {
+		err = wait()
+	}
+	if err != nil {
+		// The write never became durable (the pool is crashed or the
+		// committer closed): withdraw the volatile index entry so a retry
+		// after recovery is not mistaken for a duplicate.
+		st.alloc.Lock()
+		if cur := st.byToken[token]; cur == loc {
+			delete(st.byToken, token)
+		}
+		seg.live.Add(-1)
+		st.alloc.Unlock()
+		return err
+	}
 	return nil
 }
 
@@ -325,70 +419,76 @@ func (st *Store) PutBatch(color types.ColorID, token types.Token, records [][]by
 // (Alg. 1 line 24: "commit_all(t, sn)"). Per the protocol, lastSN is the SN
 // of the final record of the batch; a batch of n records occupies
 // [lastSN-n+1, lastSN]. Re-committing with the same SN is a no-op.
+//
+// Commits of one color are serialized by the color lock (held across the
+// durable SN write, so the write-lane FIFO and the sync path cannot
+// interleave commits of the same token); commits of different colors run
+// in parallel. The segment stays pinned in PM until firstSN is published,
+// which makes the in-place SN write and the cache fill safe against slot
+// reuse without holding the allocator lock.
 func (st *Store) Commit(token types.Token, lastSN types.SN) error {
 	if !lastSN.Valid() {
 		return fmt.Errorf("storage: cannot commit %v with invalid SN", token)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	loc, ok := st.byToken[token]
-	if !ok {
+	st.alloc.RLock()
+	loc := st.byToken[token]
+	st.alloc.RUnlock()
+	if loc == nil {
 		return ErrUnknownToken
 	}
 	if int(lastSN.Counter()) < loc.count() {
 		return fmt.Errorf("storage: SN %v too small for batch of %d", lastSN, loc.count())
 	}
 	firstSN := lastSN - types.SN(loc.count()-1)
-	if loc.firstSN.Valid() {
-		if loc.firstSN == firstSN {
+	ci := st.color(loc.color)
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if cur := loc.first(); cur.Valid() {
+		if cur == firstSN {
 			return nil
 		}
-		return fmt.Errorf("storage: token %v already committed at %v, got %v", token, loc.firstSN, firstSN)
+		return fmt.Errorf("storage: token %v already committed at %v, got %v", token, cur, firstSN)
 	}
 	if err := st.commitEntrySN(loc, firstSN); err != nil {
 		return err
 	}
-	loc.firstSN = firstSN
-	ci := st.color(loc.color)
 	for i := 0; i < loc.count(); i++ {
 		sn := firstSN + types.SN(i)
 		if sn <= ci.trimmed {
 			// Committed below the trim watermark: immediately dead
 			// (a trim raced ahead of this commit).
-			loc.liveCount--
+			loc.kill()
 			continue
 		}
 		if _, taken := ci.bySN[sn]; taken {
 			// Write-Once-Read-Many (§4): an SN never changes its record.
 			// A colliding assignment (which a correct ordering layer never
 			// produces) loses; its slot becomes a dead entry.
-			loc.liveCount--
+			loc.kill()
 			continue
 		}
 		ci.bySN[sn] = recordRef{loc: loc, idx: i}
 		if sn > ci.maxSN {
 			ci.maxSN = sn
 		}
-		// Freshly appended records also populate the cache (§5.2).
-		if !loc.seg.flushed() {
-			sp := loc.spans[i]
-			data := make([]byte, sp.len)
-			if err := st.pm.Read(loc.seg.pmOff+loc.off+entryHeaderSize+uint64(sp.off), data); err == nil {
-				st.cache.put(loc.color, sn, data)
-			}
+		// Freshly appended records also populate the cache (§5.2). The
+		// entry is still uncommitted (firstSN unpublished), so its segment
+		// cannot be flushed from under this PM read.
+		sp := loc.spans[i]
+		data := make([]byte, sp.len)
+		if err := st.pm.Read(loc.seg.pmOff+loc.off+entryHeaderSize+uint64(sp.off), data); err == nil {
+			st.cache.put(loc.color, sn, data)
 		}
 	}
-	if loc.liveCount == 0 {
-		loc.dead = true
-		loc.seg.live--
-	}
+	// Publish last: from here on segmentFlushable may evict the segment.
+	loc.firstSN.Store(uint64(firstSN))
 	return nil
 }
 
 // Has reports whether the token has been persisted (committed or not).
 func (st *Store) Has(token types.Token) bool {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.alloc.RLock()
+	defer st.alloc.RUnlock()
 	_, ok := st.byToken[token]
 	return ok
 }
@@ -403,59 +503,45 @@ func (st *Store) TokenSN(token types.Token) (types.SN, bool) {
 // TokenInfo returns the color and last SN of a persisted token (InvalidSN
 // if uncommitted) and whether the token is known.
 func (st *Store) TokenInfo(token types.Token) (types.ColorID, types.SN, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	loc, ok := st.byToken[token]
-	if !ok {
+	st.alloc.RLock()
+	loc := st.byToken[token]
+	st.alloc.RUnlock()
+	if loc == nil {
 		return 0, types.InvalidSN, false
 	}
-	if !loc.firstSN.Valid() {
+	if !loc.first().Valid() {
 		return loc.color, types.InvalidSN, true
 	}
 	return loc.color, loc.lastSN(), true
-}
-
-// lookupLocked resolves (color, sn) to its record ref. Caller holds st.mu.
-func (st *Store) lookupLocked(color types.ColorID, sn types.SN) (recordRef, error) {
-	ci := st.byColor[color]
-	if ci == nil {
-		return recordRef{}, ErrNotFound
-	}
-	if sn <= ci.trimmed {
-		return recordRef{}, ErrTrimmed
-	}
-	ref, ok := ci.bySN[sn]
-	if !ok {
-		return recordRef{}, ErrNotFound
-	}
-	return ref, nil
 }
 
 // Get returns the payload of the committed record (color, sn), consulting
 // cache, then PM, then SSD (§5.2: "the volatile cache is first read, then
 // PM, then the SSD").
 //
-// The device access runs with st.mu released, so concurrent readers (the
-// replica's read lane) overlap their PM/SSD latency instead of serializing
-// on the store lock. PM slots are reused when a segment is flushed to the
-// SSD, so an unlocked PM read is revalidated afterwards: if the segment
-// lost its slot mid-read the bytes may be torn and the lookup is retried
-// (the record then resolves to its SSD copy, which is immutable).
+// The device access runs with no store lock held, so concurrent readers
+// (the replica's read lane) overlap their PM/SSD latency instead of
+// serializing. PM slots are reused when a segment is flushed to the SSD,
+// so an unlocked PM read is revalidated afterwards: if the segment lost
+// its slot mid-read the bytes may be torn and the lookup is retried (the
+// record then resolves to its SSD copy, which is immutable).
 func (st *Store) Get(color types.ColorID, sn types.SN) ([]byte, error) {
 	if data, ok := st.cache.get(color, sn); ok {
 		return data, nil
 	}
+	ci, ok := st.colorIfExists(color)
+	if !ok {
+		return nil, ErrNotFound
+	}
 	for attempt := 0; attempt < 2; attempt++ {
-		st.mu.RLock()
-		ref, err := st.lookupLocked(color, sn)
+		ci.mu.RLock()
+		ref, err := ci.lookupLocked(sn)
+		ci.mu.RUnlock()
 		if err != nil {
-			st.mu.RUnlock()
 			return nil, err
 		}
 		seg := ref.loc.seg
 		flushed := seg.flushed()
-		st.mu.RUnlock()
-
 		data, derr := st.readRecordAt(ref.loc, ref.idx, flushed)
 		if flushed {
 			// SSD segment files are written once and never mutated.
@@ -466,9 +552,9 @@ func (st *Store) Get(color types.ColorID, sn types.SN) ([]byte, error) {
 			return data, nil
 		}
 		if derr == nil {
-			st.mu.RLock()
-			valid := !seg.flushed() && st.slotSeg[seg.slot] == seg
-			st.mu.RUnlock()
+			st.alloc.RLock()
+			valid := !seg.flushed() && st.slotSeg[seg.slotIdx()] == seg
+			st.alloc.RUnlock()
 			if valid {
 				st.cache.put(color, sn, data)
 				return data, nil
@@ -478,14 +564,17 @@ func (st *Store) Get(color types.ColorID, sn types.SN) ([]byte, error) {
 		// (the record moved to the SSD, or was trimmed away).
 	}
 	// Still racing after retries (or the PM read keeps failing): resolve
-	// under the full lock, where no flush can interleave.
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	ref, err := st.lookupLocked(color, sn)
+	// with the allocator lock held across the read, where no flush can
+	// interleave (lock order: color, then allocator).
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	ref, err := ci.lookupLocked(sn)
 	if err != nil {
 		return nil, err
 	}
+	st.alloc.RLock()
 	data, err := st.readRecordData(ref.loc, ref.idx)
+	st.alloc.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -495,12 +584,13 @@ func (st *Store) Get(color types.ColorID, sn types.SN) ([]byte, error) {
 
 // MaxSN returns the largest committed SN seen for the color.
 func (st *Store) MaxSN(color types.ColorID) types.SN {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if ci := st.byColor[color]; ci != nil {
-		return ci.maxSN
+	ci, ok := st.colorIfExists(color)
+	if !ok {
+		return types.InvalidSN
 	}
-	return types.InvalidSN
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	return ci.maxSN
 }
 
 // Trimmed returns the color's trim frontier: the largest SN an applied
@@ -508,31 +598,25 @@ func (st *Store) MaxSN(color types.ColorID) types.SN {
 // color was never trimmed. The sync-phase exchanges this so a recovering
 // replica never resurrects garbage-collected records.
 func (st *Store) Trimmed(color types.ColorID) types.SN {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if ci := st.byColor[color]; ci != nil {
-		return ci.trimmed
+	ci, ok := st.colorIfExists(color)
+	if !ok {
+		return types.InvalidSN
 	}
-	return types.InvalidSN
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	return ci.trimmed
 }
 
 // Bounds returns the [head, tail] SN pair of the color's log: head is the
 // smallest retained SN, tail the largest committed one.
 func (st *Store) Bounds(color types.ColorID) (head, tail types.SN) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	ci := st.byColor[color]
-	if ci == nil || len(ci.bySN) == 0 {
+	ci, ok := st.colorIfExists(color)
+	if !ok {
 		return types.InvalidSN, types.InvalidSN
 	}
-	first := true
-	for sn := range ci.bySN {
-		if first || sn < head {
-			head = sn
-		}
-		first = false
-	}
-	return head, ci.maxSN
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	return ci.boundsLocked()
 }
 
 // Scan returns all committed records of the color sorted by SN (the
@@ -544,25 +628,24 @@ func (st *Store) Scan(color types.ColorID) ([]types.Record, error) {
 // ScanFrom returns committed records of the color with SN > after, sorted.
 // Only the matching refs are snapshotted and read — a subscriber tailing
 // the log no longer pays device reads for the prefix it already has — and
-// each device read runs with st.mu released (see Get).
+// each device read runs with no store lock held (see Get).
 func (st *Store) ScanFrom(color types.ColorID, after types.SN) ([]types.Record, error) {
 	type snRef struct {
 		sn  types.SN
 		ref recordRef
 	}
-	st.mu.RLock()
-	ci := st.byColor[color]
-	if ci == nil {
-		st.mu.RUnlock()
+	ci, ok := st.colorIfExists(color)
+	if !ok {
 		return nil, nil
 	}
+	ci.mu.RLock()
 	refs := make([]snRef, 0, len(ci.bySN))
 	for sn, ref := range ci.bySN {
 		if sn > after {
 			refs = append(refs, snRef{sn, ref})
 		}
 	}
-	st.mu.RUnlock()
+	ci.mu.RUnlock()
 	sort.Slice(refs, func(i, j int) bool { return refs[i].sn < refs[j].sn })
 	out := make([]types.Record, 0, len(refs))
 	for _, r := range refs {
@@ -575,51 +658,50 @@ func (st *Store) ScanFrom(color types.ColorID, after types.SN) ([]types.Record, 
 	return out, nil
 }
 
-// readLive reads one record with st.mu released across the device access,
-// revalidating PM reads against slot reuse (see Get for the hazard).
+// readLive reads one record with no store lock held across the device
+// access, revalidating PM reads against slot reuse (see Get for the
+// hazard).
 func (st *Store) readLive(loc *entryLoc, idx int) ([]byte, error) {
 	for attempt := 0; attempt < 2; attempt++ {
-		st.mu.RLock()
 		flushed := loc.seg.flushed()
-		st.mu.RUnlock()
 		data, err := st.readRecordAt(loc, idx, flushed)
 		if flushed {
 			return data, err // SSD files are immutable: both outcomes final
 		}
 		if err == nil {
-			st.mu.RLock()
-			valid := !loc.seg.flushed() && st.slotSeg[loc.seg.slot] == loc.seg
-			st.mu.RUnlock()
+			st.alloc.RLock()
+			valid := !loc.seg.flushed() && st.slotSeg[loc.seg.slotIdx()] == loc.seg
+			st.alloc.RUnlock()
 			if valid {
 				return data, nil
 			}
 		}
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.alloc.RLock()
+	defer st.alloc.RUnlock()
 	return st.readRecordData(loc, idx)
 }
 
 // Uncommitted returns batches persisted but not yet assigned SNs, used by
 // recovery to re-issue order requests (§6.3).
 func (st *Store) Uncommitted() []Batch {
-	st.mu.RLock()
+	st.alloc.RLock()
 	locs := make([]*entryLoc, 0)
 	for _, loc := range st.byToken {
-		if !loc.dead && !loc.firstSN.Valid() {
+		if !loc.dead.Load() && !loc.first().Valid() {
 			locs = append(locs, loc)
 		}
 	}
-	st.mu.RUnlock()
+	st.alloc.RUnlock()
 	sort.Slice(locs, func(i, j int) bool { return locs[i].token < locs[j].token })
 	out := make([]Batch, 0, len(locs))
 	for _, loc := range locs {
 		b := Batch{Token: loc.token, Color: loc.color}
 		ok := true
 		for i := 0; i < loc.count(); i++ {
-			st.mu.RLock()
+			st.alloc.RLock()
 			data, err := st.readRecordData(loc, i)
-			st.mu.RUnlock()
+			st.alloc.RUnlock()
 			if err != nil {
 				ok = false
 				break
@@ -635,51 +717,85 @@ func (st *Store) Uncommitted() []Batch {
 
 // Trim deletes every record of the color with SN <= sn (§6.2). The trim is
 // persisted as a log marker so it survives crashes. Returns the remaining
-// [head, tail] bounds.
+// [head, tail] bounds. Lock order: the color lock is taken first and held
+// across the marker write and the index sweep, serializing the trim
+// against commits of the same color; the allocator lock is only held for
+// the marker's space reservation.
 func (st *Store) Trim(color types.ColorID, sn types.SN) (head, tail types.SN, err error) {
-	st.mu.Lock()
-	_, e := st.appendEntry(st.active, entryKindTrim, color, 0, sn, nil)
-	if errors.Is(e, errSegmentFull) {
-		st.active.sealed = true
-		if e = st.newActiveSegment(); e == nil {
-			_, e = st.appendEntry(st.active, entryKindTrim, color, 0, sn, nil)
-		}
-	}
+	ci := st.color(color)
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	buf := encodeEntry(entryKindTrim, color, 0, sn, nil)
+	st.alloc.Lock()
+	seg, off, e := st.reserveEntry(uint64(len(buf)))
 	if e != nil {
-		st.mu.Unlock()
+		st.alloc.Unlock()
 		return 0, 0, e
 	}
-	st.applyTrimLocked(color, sn)
-	st.mu.Unlock()
-	h, t := st.Bounds(color)
-	return h, t, nil
+	wait, e := st.persistEntry(seg, off, buf)
+	st.alloc.Unlock()
+	if wait != nil {
+		e = wait()
+	}
+	if e != nil {
+		return 0, 0, e
+	}
+	st.applyTrimLocked(ci, color, sn)
+	head, tail = ci.boundsLocked()
+	return head, tail, nil
 }
 
-// applyTrimLocked removes trimmed records from the indexes. Caller holds mu.
-func (st *Store) applyTrimLocked(color types.ColorID, sn types.SN) {
-	ci := st.color(color)
+// applyTrimLocked removes trimmed records from the indexes. Caller holds
+// the color's lock.
+func (st *Store) applyTrimLocked(ci *colorIndex, color types.ColorID, sn types.SN) {
 	if sn > ci.trimmed {
 		ci.trimmed = sn
 	}
 	for s, ref := range ci.bySN {
 		if s <= sn {
-			ref.loc.liveCount--
-			if ref.loc.liveCount == 0 && !ref.loc.dead {
-				ref.loc.dead = true
-				ref.loc.seg.live--
-			}
+			ref.loc.kill()
 			delete(ci.bySN, s)
 			st.cache.drop(color, s)
 		}
 	}
 }
 
-// Crash simulates a power failure of the whole storage node.
+// lockAllColors acquires every existing color lock (in a deterministic
+// order) and returns the locked set keyed by color. Crash/Recover use it
+// for exclusivity against the per-color paths; the allocator lock must be
+// acquired AFTER this (lock order: colors before allocator).
+func (st *Store) lockAllColors() map[types.ColorID]*colorIndex {
+	ids := make([]types.ColorID, 0)
+	st.colors.Range(func(k, _ any) bool {
+		ids = append(ids, k.(types.ColorID))
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	locked := make(map[types.ColorID]*colorIndex, len(ids))
+	for _, c := range ids {
+		ci := st.color(c)
+		ci.mu.Lock()
+		locked[c] = ci
+	}
+	return locked
+}
+
+func unlockColors(locked map[types.ColorID]*colorIndex) {
+	for _, ci := range locked {
+		ci.mu.Unlock()
+	}
+}
+
+// Crash simulates a power failure of the whole storage node. In-flight
+// group-commit windows fail (their callers see ErrCrashed and never ack);
+// Recover rolls their partial writes back via the pmem undo log.
 func (st *Store) Crash() {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	locked := st.lockAllColors()
+	st.alloc.Lock()
 	st.pm.Crash()
 	st.dev.Crash()
+	st.alloc.Unlock()
+	unlockColors(locked)
 }
 
 // Recover re-opens the devices and rebuilds every volatile index by
@@ -687,19 +803,36 @@ func (st *Store) Crash() {
 // operation measured by the paper's Fig. 10: its cost is linear in the
 // number of records to recover.
 func (st *Store) Recover() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	locked := st.lockAllColors()
+	defer func() { unlockColors(locked) }()
+	st.alloc.Lock()
+	defer st.alloc.Unlock()
 	st.pm.Recover()
 	st.dev.Recover()
 
 	st.segs = make(map[uint64]*segment)
 	st.byToken = make(map[types.Token]*entryLoc)
-	st.byColor = make(map[types.ColorID]*colorIndex)
 	st.cache = newStripedCache(st.cfg.CacheBytes)
 	st.active = nil
 	st.nextSeg = 1
 	for i := range st.slotSeg {
 		st.slotSeg[i] = nil
+	}
+	// Reset every color index in place (their locks are held); colors
+	// first seen during ingest are created and locked on demand.
+	colorLocked := func(c types.ColorID) *colorIndex {
+		if ci, ok := locked[c]; ok {
+			return ci
+		}
+		ci := st.color(c)
+		ci.mu.Lock()
+		locked[c] = ci
+		return ci
+	}
+	for _, ci := range locked {
+		ci.bySN = make(map[types.SN]recordRef)
+		ci.maxSN = types.InvalidSN
+		ci.trimmed = types.InvalidSN
 	}
 
 	type pendingTrim struct {
@@ -717,16 +850,17 @@ func (st *Store) Recover() error {
 				if err != nil {
 					return err
 				}
-				seg.live++
+				seg.live.Add(1)
 				loc := &entryLoc{
 					seg: seg, off: off, payloadLen: e.dataLen, spans: spans,
-					token: e.token, color: e.color, firstSN: e.sn,
-					liveCount: len(spans),
+					token: e.token, color: e.color,
 				}
+				loc.firstSN.Store(uint64(e.sn))
+				loc.liveCount.Store(int32(len(spans)))
 				st.byToken[e.token] = loc
 				seg.tokens = append(seg.tokens, e.token)
 				if e.sn.Valid() {
-					ci := st.color(e.color)
+					ci := colorLocked(e.color)
 					for i := range spans {
 						sn := e.sn + types.SN(i)
 						if _, taken := ci.bySN[sn]; taken {
@@ -734,7 +868,7 @@ func (st *Store) Recover() error {
 							// ascending id (persist) order, so the earlier
 							// record keeps the SN exactly as the live index
 							// did; a later colliding entry is dead.
-							loc.liveCount--
+							loc.kill()
 							continue
 						}
 						ci.bySN[sn] = recordRef{loc: loc, idx: i}
@@ -743,10 +877,7 @@ func (st *Store) Recover() error {
 						}
 					}
 				}
-				if loc.liveCount == 0 {
-					loc.dead = true
-					seg.live--
-				}
+				return nil
 			case entryKindTrim:
 				trims = append(trims, pendingTrim{color: e.color, sn: e.sn})
 			}
@@ -777,7 +908,7 @@ func (st *Store) Recover() error {
 		if err := st.pm.Read(base, raw); err != nil {
 			return err
 		}
-		images = append(images, pendingSeg{seg: &segment{id: id, slot: i, pmOff: base, used: used}, raw: raw})
+		images = append(images, pendingSeg{seg: newSegment(id, i, base, used), raw: raw})
 	}
 	pmIDs := make(map[uint64]bool, len(images))
 	for _, im := range images {
@@ -801,7 +932,7 @@ func (st *Store) Recover() error {
 		if err := st.dev.ReadAt(name, 0, raw); err != nil {
 			return err
 		}
-		images = append(images, pendingSeg{seg: &segment{id: id, slot: -1, used: uint64(sz)}, raw: raw})
+		images = append(images, pendingSeg{seg: newSegment(id, -1, 0, uint64(sz)), raw: raw})
 	}
 	sort.Slice(images, func(i, j int) bool { return images[i].seg.id < images[j].seg.id })
 	for _, im := range images {
@@ -809,15 +940,15 @@ func (st *Store) Recover() error {
 			return err
 		}
 		st.segs[im.seg.id] = im.seg
-		if im.seg.slot >= 0 {
-			st.slotSeg[im.seg.slot] = im.seg
+		if !im.seg.flushed() {
+			st.slotSeg[im.seg.slotIdx()] = im.seg
 		}
 		if im.seg.id >= st.nextSeg {
 			st.nextSeg = im.seg.id + 1
 		}
 	}
 	for _, tr := range trims {
-		st.applyTrimLocked(tr.color, tr.sn)
+		st.applyTrimLocked(colorLocked(tr.color), tr.color, tr.sn)
 	}
 	// Pick or create the active segment.
 	for _, seg := range st.segs {
@@ -845,20 +976,26 @@ type Stats struct {
 	Recoveries  uint64
 	CacheHits   uint64
 	CacheMisses uint64
+	GC          GCStats
 	PM          pmem.Stats
 	SSD         ssd.Stats
 }
 
 // Stats returns a snapshot of counters across the tiers.
 func (st *Store) Stats() Stats {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	// Color locks strictly before the allocator lock.
 	committed := 0
-	for _, ci := range st.byColor {
+	st.colors.Range(func(_, v any) bool {
+		ci := v.(*colorIndex)
+		ci.mu.RLock()
 		committed += len(ci.bySN)
-	}
+		ci.mu.RUnlock()
+		return true
+	})
+	st.alloc.RLock()
+	defer st.alloc.RUnlock()
 	hits, misses := st.cache.stats()
-	return Stats{
+	s := Stats{
 		Records:     len(st.byToken),
 		Committed:   committed,
 		Flushes:     st.flushes,
@@ -868,6 +1005,10 @@ func (st *Store) Stats() Stats {
 		PM:          st.pm.Stats(),
 		SSD:         st.dev.Stats(),
 	}
+	if st.gc != nil {
+		s.GC = st.gc.stats()
+	}
+	return s
 }
 
 // Attach re-opens a store over devices holding a previous incarnation's
@@ -895,7 +1036,6 @@ func Attach(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error) {
 		cache:   newStripedCache(cfg.CacheBytes),
 		segs:    make(map[uint64]*segment),
 		byToken: make(map[types.Token]*entryLoc),
-		byColor: make(map[types.ColorID]*colorIndex),
 		nextSeg: 1,
 	}
 	for i := 0; i < cfg.NumSegments; i++ {
@@ -904,6 +1044,9 @@ func Attach(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error) {
 	}
 	if err := st.Recover(); err != nil {
 		return nil, err
+	}
+	if cfg.GroupCommit {
+		st.gc = newGroupCommitter(pool)
 	}
 	return st, nil
 }

@@ -172,3 +172,200 @@ func WithReadLane(h Handler, cfg LaneConfig) (wrapped Handler, stats func() Lane
 	}
 	return wrapped, l.stats, l.close
 }
+
+// ---- Write lane ----
+
+// WriteLaneConfig enables a keyed write lane: mutation messages the Key
+// function accepts are sharded by key onto a pool of single-goroutine
+// workers. Unlike the read lane's shared queue, each worker owns a FIFO
+// channel and a key is pinned to one worker (key mod Workers), so every
+// message of one key is processed in arrival order — the invariant the
+// append protocol needs (an AppendReq must reach storage before the
+// OrderResp that commits its token, and both carry the same color) —
+// while different keys proceed in parallel.
+type WriteLaneConfig struct {
+	// Workers is the pool size; 0 disables the lane.
+	Workers int
+	// Key reports whether the message belongs on the write lane and, if
+	// so, its shard key (the color for FlexLog mutations).
+	Key func(Message) (uint64, bool)
+	// QueueCap bounds each worker's buffer; a full queue backpressures
+	// the delivery loop. 0 uses a default of 1024 per worker.
+	QueueCap int
+}
+
+// Enabled reports whether the config describes an active write lane.
+func (c WriteLaneConfig) Enabled() bool { return c.Workers > 0 && c.Key != nil }
+
+// WriteLaneStats is a point-in-time snapshot of one endpoint's write lane.
+// PerWorker lets the modeled-throughput benchmarks charge each worker for
+// the messages it actually processed (the busiest worker bounds the lane).
+type WriteLaneStats struct {
+	Enqueued  uint64        // messages handed to the lane
+	Dequeued  uint64        // messages whose handler finished
+	MaxDepth  uint64        // high-water mark of the summed queue depth
+	Busy      time.Duration // summed wall time workers spent per message
+	PerWorker []uint64      // per-worker processed counts
+}
+
+// Depth returns the instantaneous queue depth (including in-service).
+func (s WriteLaneStats) Depth() uint64 { return s.Enqueued - s.Dequeued }
+
+// writeLane is the keyed worker pool behind WriteLaneConfig.
+type writeLane struct {
+	cfg      WriteLaneConfig
+	handler  Handler
+	procCost time.Duration
+	chs      []chan laneItem
+	wg       sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	enqueued  atomic.Uint64
+	dequeued  atomic.Uint64
+	maxDepth  atomic.Uint64
+	busyNs    atomic.Int64
+	perWorker []atomic.Uint64
+}
+
+func newWriteLane(cfg WriteLaneConfig, h Handler, procCost time.Duration) *writeLane {
+	cap := cfg.QueueCap
+	if cap <= 0 {
+		cap = 1024
+	}
+	l := &writeLane{
+		cfg:       cfg,
+		handler:   h,
+		procCost:  procCost,
+		chs:       make([]chan laneItem, cfg.Workers),
+		perWorker: make([]atomic.Uint64, cfg.Workers),
+	}
+	for i := range l.chs {
+		l.chs[i] = make(chan laneItem, cap)
+		l.wg.Add(1)
+		go l.worker(i)
+	}
+	return l
+}
+
+// dispatch routes the message to the key's worker, blocking when that
+// worker's queue is full. Reports false once the lane is closed (the
+// caller then handles the message inline).
+func (l *writeLane) dispatch(from types.NodeID, msg Message, deliverAt time.Time, key uint64) bool {
+	l.closeMu.RLock()
+	if l.closed {
+		l.closeMu.RUnlock()
+		return false
+	}
+	n := l.enqueued.Add(1)
+	if depth := n - l.dequeued.Load(); depth > 0 {
+		for {
+			cur := l.maxDepth.Load()
+			if depth <= cur || l.maxDepth.CompareAndSwap(cur, depth) {
+				break
+			}
+		}
+	}
+	l.chs[key%uint64(len(l.chs))] <- laneItem{from: from, msg: msg, deliverAt: deliverAt}
+	l.closeMu.RUnlock()
+	return true
+}
+
+func (l *writeLane) worker(i int) {
+	defer l.wg.Done()
+	for it := range l.chs[i] {
+		start := time.Now()
+		if !it.deliverAt.IsZero() {
+			simclock.SpinUntil(it.deliverAt)
+			// As on the read lane, the serial receive cost is paid on the
+			// worker: mutations of different colors use different cores.
+			if simclock.Enabled() {
+				simclock.Spin(l.procCost)
+			}
+		}
+		l.handler(it.from, it.msg)
+		l.busyNs.Add(int64(time.Since(start)))
+		l.perWorker[i].Add(1)
+		l.dequeued.Add(1)
+	}
+}
+
+// close drains the pool; later dispatch calls report false. Idempotent.
+func (l *writeLane) close() {
+	l.closeMu.Lock()
+	if l.closed {
+		l.closeMu.Unlock()
+		return
+	}
+	l.closed = true
+	l.closeMu.Unlock()
+	for _, ch := range l.chs {
+		close(ch)
+	}
+	l.wg.Wait()
+}
+
+func (l *writeLane) stats() WriteLaneStats {
+	per := make([]uint64, len(l.perWorker))
+	for i := range l.perWorker {
+		per[i] = l.perWorker[i].Load()
+	}
+	return WriteLaneStats{
+		Enqueued:  l.enqueued.Load(),
+		Dequeued:  l.dequeued.Load(),
+		MaxDepth:  l.maxDepth.Load(),
+		Busy:      time.Duration(l.busyNs.Load()),
+		PerWorker: per,
+	}
+}
+
+// Lanes bundles an endpoint's service lanes: a read lane (shared queue,
+// any-order concurrency) and a keyed write lane (per-key FIFO). Either or
+// both may be disabled.
+type Lanes struct {
+	Read  LaneConfig
+	Write WriteLaneConfig
+}
+
+// WithLanes wraps a handler with both lanes for endpoints the Network
+// does not manage (e.g. a TCP transport). Classification order matches
+// the in-process delivery loop: read class first, then write class, else
+// inline. The stop function drains both pools.
+func WithLanes(h Handler, lanes Lanes) (wrapped Handler, readStats func() LaneStats, writeStats func() WriteLaneStats, stop func()) {
+	readStats = func() LaneStats { return LaneStats{} }
+	writeStats = func() WriteLaneStats { return WriteLaneStats{} }
+	var rl *readLane
+	var wl *writeLane
+	if lanes.Read.Enabled() {
+		rl = newReadLane(lanes.Read, h, 0)
+		readStats = rl.stats
+	}
+	if lanes.Write.Enabled() {
+		wl = newWriteLane(lanes.Write, h, 0)
+		writeStats = wl.stats
+	}
+	if rl == nil && wl == nil {
+		return h, readStats, writeStats, func() {}
+	}
+	wrapped = func(from types.NodeID, msg Message) {
+		if rl != nil && lanes.Read.Classify(msg) && rl.dispatch(from, msg, time.Time{}) {
+			return
+		}
+		if wl != nil {
+			if key, ok := lanes.Write.Key(msg); ok && wl.dispatch(from, msg, time.Time{}, key) {
+				return
+			}
+		}
+		h(from, msg)
+	}
+	stop = func() {
+		if rl != nil {
+			rl.close()
+		}
+		if wl != nil {
+			wl.close()
+		}
+	}
+	return wrapped, readStats, writeStats, stop
+}

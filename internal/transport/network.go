@@ -99,15 +99,29 @@ func (n *Network) Register(id types.NodeID, h Handler) (Endpoint, error) {
 // after every earlier mutation has been processed — reads can complete
 // late, never early. With a zero/disabled lane config this is Register.
 func (n *Network) RegisterWithLane(id types.NodeID, h Handler, lane LaneConfig) (Endpoint, error) {
+	return n.RegisterWithLanes(id, h, Lanes{Read: lane})
+}
+
+// RegisterWithLanes attaches a node with both service lanes: read-class
+// messages go to the shared read pool, write-class messages are sharded
+// by key (color) onto per-key FIFO workers, and everything else keeps the
+// single-goroutine delivery loop. The delivery loop still dequeues in
+// arrival order, and a key is pinned to one worker, so messages of one
+// color retain their FIFO order end to end.
+func (n *Network) RegisterWithLanes(id types.NodeID, h Handler, lanes Lanes) (Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, dup := n.nodes[id]; dup {
 		return nil, fmt.Errorf("transport: node %v already registered", id)
 	}
 	ep := &inprocEndpoint{net: n, id: id, handler: h}
-	if lane.Enabled() {
-		ep.classify = lane.Classify
-		ep.lane = newReadLane(lane, h, n.model.ProcCost)
+	if lanes.Read.Enabled() {
+		ep.classify = lanes.Read.Classify
+		ep.lane = newReadLane(lanes.Read, h, n.model.ProcCost)
+	}
+	if lanes.Write.Enabled() {
+		ep.writeKey = lanes.Write.Key
+		ep.wlane = newWriteLane(lanes.Write, h, n.model.ProcCost)
 	}
 	ep.cond = sync.NewCond(&ep.qmu)
 	n.nodes[id] = ep
@@ -206,6 +220,32 @@ func (n *Network) LaneStats(id types.NodeID) (LaneStats, bool) {
 	return ep.lane.stats(), true
 }
 
+// NodeWriteDelivered returns the per-node count of messages delivered via
+// the write lane (a subset of NodeDelivered); nodes without a write lane
+// report 0. The lane-aware throughput model splits these across workers
+// using WriteLaneStats.PerWorker.
+func (n *Network) NodeWriteDelivered() map[types.NodeID]uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[types.NodeID]uint64, len(n.nodes))
+	for id, ep := range n.nodes {
+		out[id] = ep.writeDelivered.Load()
+	}
+	return out
+}
+
+// WriteLaneStats snapshots the write-lane counters of a node. ok is false
+// when the node is unknown or has no write lane.
+func (n *Network) WriteLaneStats(id types.NodeID) (WriteLaneStats, bool) {
+	n.mu.RLock()
+	ep := n.nodes[id]
+	n.mu.RUnlock()
+	if ep == nil || ep.wlane == nil {
+		return WriteLaneStats{}, false
+	}
+	return ep.wlane.stats(), true
+}
+
 // Model returns the network's link model.
 func (n *Network) Model() LinkModel { return n.model }
 
@@ -225,13 +265,16 @@ func (n *Network) reachable(from, to types.NodeID) bool {
 
 // inprocEndpoint is one node's in-process attachment.
 type inprocEndpoint struct {
-	net           *Network
-	id            types.NodeID
-	handler       Handler
-	classify      func(Message) bool
-	lane          *readLane
-	delivered     atomic.Uint64
-	readDelivered atomic.Uint64
+	net            *Network
+	id             types.NodeID
+	handler        Handler
+	classify       func(Message) bool
+	lane           *readLane
+	writeKey       func(Message) (uint64, bool)
+	wlane          *writeLane
+	delivered      atomic.Uint64
+	readDelivered  atomic.Uint64
+	writeDelivered atomic.Uint64
 
 	qmu    sync.Mutex
 	cond   *sync.Cond
@@ -339,6 +382,9 @@ func (e *inprocEndpoint) deliveryLoop() {
 	if e.lane != nil {
 		defer e.lane.close()
 	}
+	if e.wlane != nil {
+		defer e.wlane.close()
+	}
 	for {
 		e.qmu.Lock()
 		for len(e.queue) == 0 && !e.closed {
@@ -357,6 +403,14 @@ func (e *inprocEndpoint) deliveryLoop() {
 			e.delivered.Add(1)
 			e.readDelivered.Add(1)
 			continue
+		}
+		if e.wlane != nil {
+			if key, ok := e.writeKey(env.msg); ok && e.wlane.dispatch(env.from, env.msg, env.deliverAt, key) {
+				e.net.delivered.Add(1)
+				e.delivered.Add(1)
+				e.writeDelivered.Add(1)
+				continue
+			}
 		}
 		if !env.deliverAt.IsZero() {
 			simclock.SpinUntil(env.deliverAt)
