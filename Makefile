@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak
+.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke
 
-verify: build test vet race chaos-smoke bench-write-smoke
+verify: build test vet race chaos-smoke bench-write-smoke obs-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,15 @@ bench-smoke:
 # can't silently rot. The block profile captures lane/lock contention.
 bench-write-smoke:
 	timeout 30 $(GO) run ./cmd/flexlog-bench -quick -blockprofile block.pprof ablate-writepath
+
+# Observability overhead smoke: the ablation runs the same append workload
+# with the registry + tracing off and on, and fails if modeled throughput
+# drops more than 5% (see internal/bench/obs.go and DESIGN.md §9).
+obs-smoke:
+	timeout 60 $(GO) run ./cmd/flexlog-bench -quick ablate-obs
+
+# Godoc coverage gate: every exported symbol in internal/obs must carry a
+# doc comment (OPERATIONS.md's coverage test guards the metric names; this
+# guards the API docs).
+docs-check:
+	$(GO) run ./cmd/docs-check internal/obs

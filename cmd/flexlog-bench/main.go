@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"flexlog/internal/bench"
+	"flexlog/internal/obs"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the experiment runs to this file")
 	blockprofile := flag.String("blockprofile", "", "write a blocking profile (lock/channel contention) of the experiment runs to this file")
+	metricsDump := flag.String("metrics-dump", "", "wire the obs-aware experiments into a registry and write its Prometheus snapshot to this file on exit (\"-\" for stdout)")
 	flag.Parse()
 
 	if *list {
@@ -57,11 +59,38 @@ func main() {
 		ids = args
 	}
 
+	rcfg := bench.RunConfig{Quick: *quick, Duration: *duration}
+	var reg *obs.Registry
+	if *metricsDump != "" {
+		reg = obs.NewRegistry()
+		rcfg.Obs = reg
+	}
+
 	// run is a separate function so the profiling defers fire before the
 	// process exits with the failure count.
-	if run(ids, bench.RunConfig{Quick: *quick, Duration: *duration}, *cpuprofile, *memprofile, *blockprofile) > 0 {
+	failed := run(ids, rcfg, *cpuprofile, *memprofile, *blockprofile)
+	if reg != nil {
+		if err := dumpMetrics(*metricsDump, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-dump: %v\n", err)
+			failed++
+		}
+	}
+	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// dumpMetrics writes the registry snapshot to path ("-" = stdout).
+func dumpMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WritePrometheus(f)
 }
 
 func run(ids []string, cfg bench.RunConfig, cpuprofile, memprofile, blockprofile string) int {

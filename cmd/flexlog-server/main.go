@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"flexlog/internal/deploy"
+	"flexlog/internal/obs"
 	"flexlog/internal/pmem"
 	"flexlog/internal/replica"
 	"flexlog/internal/seq"
@@ -38,6 +39,7 @@ func main() {
 	segments := flag.Int("pm-segments", 16, "PM segment slots")
 	cacheMB := flag.Int("cache-mb", 16, "DRAM cache size (MiB)")
 	dataDir := flag.String("data-dir", "", "directory for device snapshots; empty = volatile (replicas only)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/lanes, /debug/pprof on this address (e.g. :8080); empty disables observability")
 	flag.Parse()
 
 	if *example {
@@ -69,12 +71,22 @@ func main() {
 		return transport.ListenTCP(nodeID, book, h)
 	}
 
+	// One registry per process; the node's components publish into it and
+	// the debug server scrapes it. Nil (observability off) when -debug-addr
+	// is not given — instrumentation then no-ops on nil receivers.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		obs.RegisterProcess(reg)
+	}
+
 	switch role.Kind {
 	case "replica":
 		cfg := replica.DefaultConfig()
 		cfg.ID = nodeID
 		cfg.Shard = role.Shard
 		cfg.Topo = topo
+		cfg.Obs = reg
 		cfg.Store = storage.Config{
 			SegmentSize: uint64(*segMB) << 20,
 			NumSegments: *segments,
@@ -121,6 +133,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if reg != nil {
+			startDebugServer(*debugAddr, obs.MuxConfig{
+				Registry: reg,
+				Tracers:  r.Tracers(),
+				Lanes:    r.LaneSnapshots,
+			})
+		}
 		leaf := types.MasterColor
 		if sh, err := topo.Shard(role.Shard); err == nil {
 			leaf = sh.Leaf
@@ -166,6 +185,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		s.PublishObs(reg)
+		if reg != nil {
+			startDebugServer(*debugAddr, obs.MuxConfig{Registry: reg})
+		}
 		log.Printf("sequencer %v for region %v (leader=%v, epoch=%d)", nodeID, role.Region, cfg.StartAsLeader, s.Epoch())
 		if epochPath != "" {
 			// Track epoch advances (failovers) so the next cold start
@@ -184,6 +207,16 @@ func main() {
 	default:
 		log.Fatalf("node %v has no role in the manifest", nodeID)
 	}
+}
+
+// startDebugServer mounts the observability endpoints; failure to bind is
+// fatal — an operator who asked for -debug-addr wants to know.
+func startDebugServer(addr string, cfg obs.MuxConfig) {
+	_, bound, err := obs.Serve(addr, cfg)
+	if err != nil {
+		log.Fatalf("debug server: %v", err)
+	}
+	log.Printf("debug server on http://%s (/metrics /debug/traces /debug/lanes /debug/pprof)", bound)
 }
 
 // loadEpoch reads the persisted epoch (0 when absent).

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"flexlog/internal/metrics"
+	"flexlog/internal/obs"
 	"flexlog/internal/simclock"
 )
 
@@ -27,6 +28,10 @@ type RunConfig struct {
 	// Duration is the measurement window per point (default 2s, quick
 	// 300ms).
 	Duration time.Duration
+	// Obs, when set, is wired into the clusters of the experiments that
+	// support it (the chaos soak, ablate-obs) so flexlog-bench can dump a
+	// registry snapshot on exit (-metrics-dump).
+	Obs *obs.Registry
 }
 
 // PointDuration resolves the per-point measurement window.

@@ -95,6 +95,10 @@ func runChaos(cfg RunConfig) (*Report, error) {
 	for _, fam := range families {
 		ccfg := core.TestClusterConfig()
 		ccfg.FailureTimeout = 100 * time.Millisecond
+		// Publish the soak's clusters into the shared registry so
+		// flexlog-bench -metrics-dump captures injection counters and
+		// per-node state from the last family run.
+		ccfg.Obs = cfg.Obs
 		cl, err := core.TreeCluster(ccfg, 2, 1)
 		if err != nil {
 			return nil, err

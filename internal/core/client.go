@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flexlog/internal/obs"
 	"flexlog/internal/proto"
 	"flexlog/internal/replica"
 	"flexlog/internal/topology"
@@ -352,12 +353,16 @@ func (c *Client) AppendCtx(ctx context.Context, records [][]byte, color types.Co
 	if len(records) == 0 {
 		return types.InvalidSN, opError("append", color, types.InvalidSN, fmt.Errorf("empty append"))
 	}
+	tr := obs.FromContext(ctx) // nil-safe span recording
 	if c.cfg.Batch.enabled() {
 		fut, err := c.enqueueAppend(records, color)
 		if err != nil {
 			return types.InvalidSN, opError("append", color, types.InvalidSN, err)
 		}
-		return fut.Wait(ctx)
+		endWait := tr.StartSpan("batch_wait")
+		sn, err := fut.Wait(ctx)
+		endWait()
+		return sn, err
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -369,7 +374,9 @@ func (c *Client) AppendCtx(ctx context.Context, records [][]byte, color types.Co
 	if err != nil {
 		return types.InvalidSN, opError("append", color, types.InvalidSN, err)
 	}
+	endRTT := tr.StartSpan("append_rtt")
 	sn, _, err := c.appendToShard(ctx, records, color, shard)
+	endRTT()
 	if err != nil {
 		return types.InvalidSN, opError("append", color, types.InvalidSN, err)
 	}
@@ -448,6 +455,7 @@ func (c *Client) Read(sn types.SN, color types.ColorID) ([]byte, error) {
 // ReadCtx is the context-first read: it honors cancellation and deadlines
 // between (and within) retry rounds.
 func (c *Client) ReadCtx(ctx context.Context, sn types.SN, color types.ColorID) ([]byte, error) {
+	defer obs.FromContext(ctx).StartSpan("read_rtt")()
 	shards := c.topo.ShardsInRegion(color)
 	if len(shards) == 0 {
 		return nil, opError("read", color, sn, fmt.Errorf("no shards"))

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"flexlog/internal/obs"
 	"flexlog/internal/replica"
 	"flexlog/internal/seq"
 	"flexlog/internal/storage"
@@ -63,6 +65,14 @@ type ClusterConfig struct {
 	// layer on every client the cluster creates (overridable per client
 	// with WithBatching/WithoutBatching options).
 	ClientBatch BatchConfig
+	// Obs, when set, wires the whole deployment into one observability
+	// registry: every replica (and through it, its storage stack), every
+	// sequencer, and the network's delivery/fault counters.
+	Obs *obs.Registry
+	// TraceSlow and TraceRing tune each replica's slow-request ring (see
+	// replica.Config); zero keeps the defaults.
+	TraceSlow time.Duration
+	TraceRing int
 }
 
 // TestClusterConfig returns a latency-free configuration with fast failure
@@ -133,7 +143,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.ReplicationFactor <= 0 {
 		cfg.ReplicationFactor = 3
 	}
-	return &Cluster{
+	cl := &Cluster{
 		cfg:       cfg,
 		net:       transport.NewNetwork(cfg.Link),
 		topo:      topology.New(),
@@ -144,6 +154,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		nextCli:   clientIDBase,
 		nextShard: 1,
 	}
+	cl.net.PublishObs(cfg.Obs)
+	return cl
 }
 
 // Network exposes the in-process fabric for fault injection.
@@ -181,6 +193,7 @@ func (cl *Cluster) AddRegion(color, parent types.ColorID) error {
 		if err != nil {
 			return err
 		}
+		s.PublishObs(cl.cfg.Obs)
 		cl.mu.Lock()
 		cl.seqs[id] = s
 		cl.mu.Unlock()
@@ -236,6 +249,9 @@ func (cl *Cluster) AddShardWithReplicas(leaf types.ColorID, replicas int) (types
 		rcfg.OrderBatchInterval = cl.cfg.OrderBatchInterval
 		rcfg.HeartbeatInterval = cl.cfg.HeartbeatInterval
 		rcfg.RetryTimeout = cl.cfg.RetryTimeout
+		rcfg.Obs = cl.cfg.Obs
+		rcfg.TraceSlow = cl.cfg.TraceSlow
+		rcfg.TraceRing = cl.cfg.TraceRing
 		r, err := replica.New(rcfg, cl.net)
 		if err != nil {
 			return 0, err
@@ -351,6 +367,9 @@ func (cl *Cluster) RestartSequencer(id types.NodeID) error {
 	if err != nil {
 		return err
 	}
+	// Re-publishing under the same identity replaces the scrape closures,
+	// so the fresh process's counters show up instead of the dead one's.
+	s.PublishObs(cl.cfg.Obs)
 	cl.mu.Lock()
 	cl.seqs[id] = s
 	cl.mu.Unlock()
@@ -404,6 +423,68 @@ func (cl *Cluster) Stop() {
 	}
 	for _, r := range reps {
 		r.Stop()
+	}
+}
+
+// Obs returns the registry the cluster publishes into (nil when
+// observability is off).
+func (cl *Cluster) Obs() *obs.Registry { return cl.cfg.Obs }
+
+// Tracers collects every replica's request tracers for the debug server.
+func (cl *Cluster) Tracers() []*obs.Tracer {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var out []*obs.Tracer
+	for _, r := range cl.replicas {
+		out = append(out, r.Tracers()...)
+	}
+	return out
+}
+
+// LaneSnapshots reports every replica's transport lane state for
+// /debug/lanes: the read lane and the keyed write lane per node. The
+// write-lane Drops column carries the replica's append drops (persistence
+// failures), the closest thing a lane has to a loss counter.
+func (cl *Cluster) LaneSnapshots() []obs.LaneSnapshot {
+	cl.mu.Lock()
+	ids := make([]types.NodeID, 0, len(cl.replicas))
+	for id := range cl.replicas {
+		ids = append(ids, id)
+	}
+	cl.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []obs.LaneSnapshot
+	for _, id := range ids {
+		node := fmt.Sprintf("%d", id)
+		if ls, ok := cl.net.LaneStats(id); ok {
+			out = append(out, obs.LaneSnapshot{
+				Node: node, Lane: "read",
+				Enqueued: ls.Enqueued, Dequeued: ls.Dequeued,
+				MaxDepth: ls.MaxDepth, Busy: ls.Busy,
+			})
+		}
+		if ws, ok := cl.net.WriteLaneStats(id); ok {
+			var drops uint64
+			if r := cl.Replica(id); r != nil {
+				drops = r.Stats().AppendDrops
+			}
+			out = append(out, obs.LaneSnapshot{
+				Node: node, Lane: "write",
+				Enqueued: ws.Enqueued, Dequeued: ws.Dequeued,
+				MaxDepth: ws.MaxDepth, Busy: ws.Busy, Drops: drops,
+			})
+		}
+	}
+	return out
+}
+
+// MuxConfig assembles the debug-server configuration for this cluster —
+// what cmd/flexlog-server passes to obs.Serve.
+func (cl *Cluster) MuxConfig() obs.MuxConfig {
+	return obs.MuxConfig{
+		Registry: cl.cfg.Obs,
+		Tracers:  cl.Tracers(),
+		Lanes:    cl.LaneSnapshots,
 	}
 }
 

@@ -112,6 +112,12 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / n)
 }
 
+// Sum returns the sum of all observations as a duration (exact, unlike
+// Mean()*Count()); used by the registry's summary exposition.
+func (h *Histogram) Sum() time.Duration {
+	return time.Duration(h.sum.Load())
+}
+
 // Min returns the smallest observation, or 0 if empty.
 func (h *Histogram) Min() time.Duration {
 	if h.total.Load() == 0 {

@@ -2,10 +2,12 @@ package replica
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"flexlog/internal/obs"
 	"flexlog/internal/proto"
 	"flexlog/internal/storage"
 	"flexlog/internal/transport"
@@ -39,11 +41,19 @@ func readClass(msg transport.Message) bool {
 }
 
 // laneConfig builds the transport lane configuration for this replica.
+// With tracing on, the lane reports queue wait into the read tracer's
+// lane_wait stage histogram.
 func (r *Replica) laneConfig() transport.LaneConfig {
 	if r.cfg.ReadWorkers <= 0 {
 		return transport.LaneConfig{}
 	}
-	return transport.LaneConfig{Workers: r.cfg.ReadWorkers, Classify: readClass}
+	cfg := transport.LaneConfig{Workers: r.cfg.ReadWorkers, Classify: readClass}
+	if r.readTr != nil {
+		cfg.Observe = func(queueWait, _ time.Duration) {
+			r.readTr.ObserveStage("lane_wait", queueWait)
+		}
+	}
+	return cfg
 }
 
 // ---- Per-color atomic watermarks ----
@@ -219,6 +229,14 @@ func (r *Replica) frontier(color types.ColorID) types.SN {
 // (internally synchronized), the atomic watermarks, and the held registry.
 func (r *Replica) onRead(from types.NodeID, m proto.ReadReq) {
 	r.stats.reads.Add(1)
+	if r.readTr.Enabled() {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			r.readTr.Observe(fmt.Sprintf("color=%d sn=%d", m.Color, m.SN), d,
+				[]obs.Span{{Name: "serve", D: d}})
+		}()
+	}
 	data, err := r.st.Get(m.Color, m.SN)
 	if err == nil {
 		r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Data: data, Found: true})

@@ -22,10 +22,12 @@ package replica
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"flexlog/internal/obs"
 	"flexlog/internal/proto"
 	"flexlog/internal/storage"
 	"flexlog/internal/topology"
@@ -93,6 +95,16 @@ type Config struct {
 	// StoreFactory overrides how the storage stack is built (e.g. to
 	// re-attach to restored device snapshots); nil uses storage.New(Store).
 	StoreFactory func(storage.Config) (*storage.Store, error)
+
+	// Obs, when set, publishes the replica's counters into the registry and
+	// enables append/read stage tracing (see obs.go). The storage stack
+	// inherits it unless Store.Obs is already set.
+	Obs *obs.Registry
+	// TraceSlow is the latency above which a traced request enters the
+	// slow-request ring (/debug/traces); 0 means 1ms.
+	TraceSlow time.Duration
+	// TraceRing caps the slow-request ring; 0 means 64.
+	TraceRing int
 }
 
 // DefaultConfig returns test-friendly timing parameters.
@@ -114,6 +126,12 @@ type pendingOrder struct {
 	nRecords uint32
 	clients  map[types.NodeID]bool // who to ack on commit
 	sentAt   time.Time
+
+	// Tracing stamps, set only while the append tracer is enabled:
+	// arrivedAt anchors the end-to-end latency, persistD is the PM
+	// persistence stage measured in doAppend.
+	arrivedAt time.Time
+	persistD  time.Duration
 }
 
 // heldRead is a read request parked until its SN appears or times out.
@@ -218,6 +236,11 @@ type Replica struct {
 	stats   counters
 	coal    *orderCoalescer // per-color order-request batching (nil = direct)
 
+	// Tracers for the two service paths (nil when Config.Obs is unset;
+	// every method is nil-safe). See obs.go.
+	appendTr *obs.Tracer
+	readTr   *obs.Tracer
+
 	mu         sync.Mutex
 	epoch      types.Epoch  // known sequencer epoch (§6.3)
 	seqNode    types.NodeID // current leaf-sequencer leader
@@ -234,6 +257,11 @@ type Replica struct {
 	stopOnce   sync.Once
 	wg         sync.WaitGroup
 	laneStop   func() // drains a handler-wrapped read lane (custom endpoints)
+
+	// Lane stats funcs, set only on custom endpoints (NewWithEndpoint);
+	// network-managed lanes report through Network.LaneStats instead.
+	laneStats  func() transport.LaneStats
+	wlaneStats func() transport.WriteLaneStats
 }
 
 // New creates a replica, attaches it to the network, and starts its timers.
@@ -262,8 +290,9 @@ func NewWithEndpoint(cfg Config, attach func(h transport.Handler) (transport.End
 		return nil, err
 	}
 	r := newReplica(cfg, st)
-	h, _, _, stop := transport.WithLanes(r.handle, r.lanes())
+	h, readStats, writeStats, stop := transport.WithLanes(r.handle, r.lanes())
 	r.laneStop = stop
+	r.laneStats, r.wlaneStats = readStats, writeStats
 	ep, err := attach(h)
 	if err != nil {
 		stop()
@@ -275,8 +304,14 @@ func NewWithEndpoint(cfg Config, attach func(h transport.Handler) (transport.End
 	return r, nil
 }
 
-// buildStore constructs the replica's storage stack.
+// buildStore constructs the replica's storage stack. The replica's
+// registry flows into the store config so one Config.Obs switch lights up
+// the whole node.
 func buildStore(cfg Config) (*storage.Store, error) {
+	if cfg.Obs != nil && cfg.Store.Obs == nil {
+		cfg.Store.Obs = cfg.Obs
+		cfg.Store.ObsNode = fmt.Sprintf("%d", cfg.ID)
+	}
 	if cfg.StoreFactory != nil {
 		return cfg.StoreFactory(cfg.Store)
 	}
@@ -297,6 +332,7 @@ func newReplica(cfg Config, st *storage.Store) *Replica {
 		stopCh:   make(chan struct{}),
 	}
 	r.mode.store(ModeOperational)
+	r.initObs()
 	if cfg.OrderCoalesce {
 		r.coal = newOrderCoalescer(r)
 	}
@@ -479,6 +515,12 @@ func (r *Replica) doAppend(from types.NodeID, color types.ColorID, token types.T
 	if client == 0 {
 		client = from
 	}
+	// Tracing stamps: arrivedAt anchors end-to-end latency, persistD is
+	// measured around PutBatch. Zero-value when the tracer is off.
+	var arrivedAt time.Time
+	if r.appendTr.Enabled() {
+		arrivedAt = time.Now()
+	}
 	r.mu.Lock()
 	if po, dup := r.pending[token]; dup {
 		// Retried append still awaiting its SN: remember the (possibly
@@ -492,6 +534,10 @@ func (r *Replica) doAppend(from types.NodeID, color types.ColorID, token types.T
 	r.mu.Unlock()
 
 	err := r.st.PutBatch(color, token, records)
+	var persistD time.Duration
+	if !arrivedAt.IsZero() {
+		persistD = time.Since(arrivedAt)
+	}
 	if err != nil && !errors.Is(err, storage.ErrDuplicateToken) {
 		// Out of space or oversized; the client times out and retries
 		// elsewhere. Count it: silent drops made capacity exhaustion look
@@ -525,10 +571,12 @@ func (r *Replica) doAppend(from types.NodeID, color types.ColorID, token types.T
 		po.clients[client] = true
 	} else {
 		r.pending[token] = &pendingOrder{
-			color:    color,
-			nRecords: uint32(len(records)),
-			clients:  map[types.NodeID]bool{client: true},
-			sentAt:   time.Now(),
+			color:     color,
+			nRecords:  uint32(len(records)),
+			clients:   map[types.NodeID]bool{client: true},
+			sentAt:    time.Now(),
+			arrivedAt: arrivedAt,
+			persistD:  persistD,
 		}
 	}
 	r.mu.Unlock()
@@ -587,6 +635,10 @@ func (r *Replica) sendOrderReq(token types.Token, color types.ColorID, n uint32)
 }
 
 func (r *Replica) onOrderResp(m proto.OrderResp) {
+	var commitStart time.Time
+	if r.appendTr.Enabled() {
+		commitStart = time.Now()
+	}
 	if err := r.st.Commit(m.Token, m.LastSN); err != nil {
 		if errors.Is(err, storage.ErrUnknownToken) {
 			// OResp for a record another shard replica persisted but we
@@ -611,6 +663,9 @@ func (r *Replica) onOrderResp(m proto.OrderResp) {
 		}
 	}
 	r.mu.Unlock()
+	if po != nil && !commitStart.IsZero() && !po.arrivedAt.IsZero() {
+		r.traceAppend(m.Token, po, commitStart)
+	}
 	sn, _ := r.st.TokenSN(m.Token)
 	for _, c := range clients {
 		r.ep.Send(c, proto.AppendAck{Token: m.Token, SN: sn})

@@ -54,6 +54,11 @@ func (r *Replica) lanes() transport.Lanes {
 	l := transport.Lanes{Read: r.laneConfig()}
 	if r.cfg.WriteWorkers > 0 {
 		l.Write = transport.WriteLaneConfig{Workers: r.cfg.WriteWorkers, Key: writeClass}
+		if r.appendTr != nil {
+			l.Write.Observe = func(queueWait, _ time.Duration) {
+				r.appendTr.ObserveStage("lane_wait", queueWait)
+			}
+		}
 	}
 	return l
 }

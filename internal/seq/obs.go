@@ -1,0 +1,54 @@
+package seq
+
+import (
+	"fmt"
+
+	"flexlog/internal/obs"
+)
+
+// PublishObs registers the sequencer's counters and role with the
+// observability registry. Publication is func-backed: the mutex-guarded
+// Stats struct stays the single source of truth and is snapshotted at
+// scrape time (one lock per family read — scrapes are rare).
+func (s *Sequencer) PublishObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	lb := obs.Labels{"node": fmt.Sprintf("%d", s.cfg.ID)}
+	for _, c := range []struct {
+		name string
+		help string
+		fn   func(Stats) uint64
+	}{
+		{"flexlog_seq_assigned_total", "Sequence numbers issued by this node as region owner.", func(st Stats) uint64 { return st.Assigned }},
+		{"flexlog_seq_direct_reqs_total", "Order requests received from replicas (including batch items).", func(st Stats) uint64 { return st.DirectReqs }},
+		{"flexlog_seq_req_batches_total", "Coalesced OrderReqBatch messages received.", func(st Stats) uint64 { return st.ReqBatches }},
+		{"flexlog_seq_child_reqs_total", "Aggregated requests received from child sequencers.", func(st Stats) uint64 { return st.ChildReqs }},
+		{"flexlog_seq_batches_sent_total", "Aggregated requests sent to the parent sequencer.", func(st Stats) uint64 { return st.BatchesSent }},
+		{"flexlog_seq_resends_total", "Unanswered aggregated requests re-sent (parent failover).", func(st Stats) uint64 { return st.Resends }},
+		{"flexlog_seq_elections_total", "Leaderships won by this node.", func(st Stats) uint64 { return st.Elections }},
+		{"flexlog_seq_epoch_grants_total", "Epochs granted to child groups.", func(st Stats) uint64 { return st.EpochGrants }},
+		{"flexlog_seq_dup_tokens_total", "Duplicate order requests absorbed by the token cache.", func(st Stats) uint64 { return st.DupTokens }},
+		{"flexlog_seq_dropped_stale_total", "Stale-epoch messages dropped.", func(st Stats) uint64 { return st.DroppedStale }},
+	} {
+		fn := c.fn
+		reg.CounterFunc(c.name, c.help, lb, func() uint64 { return fn(s.Stats()) })
+	}
+	reg.GaugeFunc("flexlog_seq_epoch",
+		"Ordering epoch this sequencer currently serves.", lb,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.epoch)
+		})
+	reg.GaugeFunc("flexlog_seq_leader",
+		"1 when this node is its group's serving leader, else 0.", lb,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.role == RoleLeader && s.serving {
+				return 1
+			}
+			return 0
+		})
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"flexlog/internal/obs"
 	"flexlog/internal/pmem"
 )
 
@@ -46,6 +48,9 @@ type groupCommitter struct {
 	windows atomic.Uint64 // transactions committed
 	ops     atomic.Uint64 // writes submitted
 	fused   atomic.Uint64 // payload writes saved by contiguous fusion
+
+	txH     *obs.Histogram // PM transaction latency (nil-safe)
+	windowH *obs.Histogram // full window latency: first op dequeued → waiters released
 }
 
 // gcOp is one submitted PM write: the entry (or SN-rewrite) bytes plus an
@@ -63,8 +68,9 @@ type gcOp struct {
 // build an unboundedly large undo log.
 const maxWindow = 512
 
-func newGroupCommitter(pm *pmem.Pool) *groupCommitter {
-	g := &groupCommitter{pm: pm, ch: make(chan gcOp, 4096), done: make(chan struct{})}
+func newGroupCommitter(pm *pmem.Pool, txH, windowH *obs.Histogram) *groupCommitter {
+	g := &groupCommitter{pm: pm, ch: make(chan gcOp, 4096), done: make(chan struct{}),
+		txH: txH, windowH: windowH}
 	go g.loop()
 	return g
 }
@@ -89,6 +95,7 @@ func (g *groupCommitter) submit(off uint64, buf []byte, hasWM bool, wmOff, wmVal
 func (g *groupCommitter) loop() {
 	defer close(g.done)
 	for first := range g.ch {
+		windowStart := time.Now()
 		window := []gcOp{first}
 	drain:
 		for len(window) < maxWindow {
@@ -106,6 +113,7 @@ func (g *groupCommitter) loop() {
 		for _, op := range window {
 			op.done <- err
 		}
+		g.windowH.Since(windowStart)
 	}
 	// Channel closed: the range loop above has already drained and
 	// committed every op buffered before close().
@@ -113,6 +121,8 @@ func (g *groupCommitter) loop() {
 
 // commitWindow folds the window into one transaction.
 func (g *groupCommitter) commitWindow(window []gcOp) error {
+	txStart := time.Now()
+	defer g.txH.Since(txStart)
 	tx, err := g.pm.Begin()
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync/atomic"
+	"time"
 
 	"flexlog/internal/types"
 )
@@ -229,6 +230,8 @@ func (st *Store) reserveEntry(need uint64) (*segment, uint64, error) {
 // become durable in reservation order (the watermark never covers torn
 // bytes).
 func (st *Store) writeEntryDirect(seg *segment, off uint64, buf []byte) error {
+	txStart := time.Now()
+	defer st.pmTxH.Since(txStart)
 	tx, err := st.pm.Begin()
 	if err != nil {
 		return err

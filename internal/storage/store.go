@@ -35,6 +35,7 @@ import (
 	"sort"
 	"sync"
 
+	"flexlog/internal/obs"
 	"flexlog/internal/pmem"
 	"flexlog/internal/ssd"
 	"flexlog/internal/types"
@@ -61,6 +62,11 @@ type Config struct {
 	GroupCommit bool   // fold concurrent PM writes into shared transactions
 	PMModel     pmem.LatencyModel
 	SSDModel    ssd.LatencyModel
+
+	// Obs, when set, publishes the store's counters and latency
+	// histograms into the registry (see obs.go); ObsNode labels them.
+	Obs     *obs.Registry
+	ObsNode string
 }
 
 // DefaultConfig returns a small but realistic configuration.
@@ -153,6 +159,10 @@ type Store struct {
 	byToken  map[types.Token]*entryLoc
 	flushes  uint64
 	recovers uint64
+
+	// Observability (nil-safe when cfg.Obs is unset; see obs.go).
+	pmTxH     *obs.Histogram // PM transaction latency
+	gcWindowH *obs.Histogram // group-commit window latency
 }
 
 // New creates a Store with fresh devices per cfg.
@@ -194,8 +204,9 @@ func NewWithDevices(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error
 	if err := st.newActiveSegment(); err != nil {
 		return nil, err
 	}
+	st.initObs()
 	if cfg.GroupCommit {
-		st.gc = newGroupCommitter(pool)
+		st.gc = newGroupCommitter(pool, st.pmTxH, st.gcWindowH)
 	}
 	return st, nil
 }
@@ -1045,8 +1056,9 @@ func Attach(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error) {
 	if err := st.Recover(); err != nil {
 		return nil, err
 	}
+	st.initObs()
 	if cfg.GroupCommit {
-		st.gc = newGroupCommitter(pool)
+		st.gc = newGroupCommitter(pool, st.pmTxH, st.gcWindowH)
 	}
 	return st, nil
 }

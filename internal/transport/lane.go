@@ -29,6 +29,10 @@ type LaneConfig struct {
 	// QueueCap bounds the lane's buffer; a full queue backpressures the
 	// delivery loop. 0 uses a default of 4096.
 	QueueCap int
+	// Observe, when set, is called after each lane message with the time
+	// it waited in the queue and the time its handler ran — the lane_wait
+	// stage of the observability layer. Must be cheap and thread-safe.
+	Observe func(queueWait, service time.Duration)
 }
 
 // Enabled reports whether the config describes an active lane.
@@ -50,6 +54,7 @@ type laneItem struct {
 	from      types.NodeID
 	msg       Message
 	deliverAt time.Time
+	enq       time.Time // stamped only when the lane has an Observe hook
 }
 
 // readLane is the worker pool behind LaneConfig. It is shared by the
@@ -106,7 +111,11 @@ func (l *readLane) dispatch(from types.NodeID, msg Message, deliverAt time.Time)
 			}
 		}
 	}
-	l.ch <- laneItem{from: from, msg: msg, deliverAt: deliverAt}
+	it := laneItem{from: from, msg: msg, deliverAt: deliverAt}
+	if l.cfg.Observe != nil {
+		it.enq = time.Now()
+	}
+	l.ch <- it
 	l.closeMu.RUnlock()
 	return true
 }
@@ -126,8 +135,12 @@ func (l *readLane) worker() {
 			}
 		}
 		l.handler(it.from, it.msg)
-		l.busyNs.Add(int64(time.Since(start)))
+		service := time.Since(start)
+		l.busyNs.Add(int64(service))
 		l.dequeued.Add(1)
+		if l.cfg.Observe != nil && !it.enq.IsZero() {
+			l.cfg.Observe(start.Sub(it.enq), service)
+		}
 	}
 }
 
@@ -192,6 +205,11 @@ type WriteLaneConfig struct {
 	// QueueCap bounds each worker's buffer; a full queue backpressures
 	// the delivery loop. 0 uses a default of 1024 per worker.
 	QueueCap int
+	// Observe, when set, is called after each lane message with the time
+	// it waited in its worker's queue and the time its handler ran — the
+	// lane_wait stage of the observability layer. Must be cheap and
+	// thread-safe.
+	Observe func(queueWait, service time.Duration)
 }
 
 // Enabled reports whether the config describes an active write lane.
@@ -267,7 +285,11 @@ func (l *writeLane) dispatch(from types.NodeID, msg Message, deliverAt time.Time
 			}
 		}
 	}
-	l.chs[key%uint64(len(l.chs))] <- laneItem{from: from, msg: msg, deliverAt: deliverAt}
+	it := laneItem{from: from, msg: msg, deliverAt: deliverAt}
+	if l.cfg.Observe != nil {
+		it.enq = time.Now()
+	}
+	l.chs[key%uint64(len(l.chs))] <- it
 	l.closeMu.RUnlock()
 	return true
 }
@@ -285,9 +307,13 @@ func (l *writeLane) worker(i int) {
 			}
 		}
 		l.handler(it.from, it.msg)
-		l.busyNs.Add(int64(time.Since(start)))
+		service := time.Since(start)
+		l.busyNs.Add(int64(service))
 		l.perWorker[i].Add(1)
 		l.dequeued.Add(1)
+		if l.cfg.Observe != nil && !it.enq.IsZero() {
+			l.cfg.Observe(start.Sub(it.enq), service)
+		}
 	}
 }
 
