@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke
+.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke tiering-smoke
 
-verify: build test vet race chaos-smoke bench-write-smoke obs-smoke docs-check
+verify: build test vet race chaos-smoke bench-write-smoke obs-smoke tiering-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,14 @@ bench-smoke:
 # can't silently rot. The block profile captures lane/lock contention.
 bench-write-smoke:
 	timeout 30 $(GO) run ./cmd/flexlog-bench -quick -blockprofile block.pprof ablate-writepath
+
+# Tiered-storage lifecycle smoke: the checkpoint-bounded-recovery unit
+# test (replay stays flat while the log grows under a PM budget) plus the
+# quick ablate-tiering curve (eviction under budget, cold-tier reads,
+# flat recovery vs the lifecycle-less baseline). See DESIGN.md §11.
+tiering-smoke:
+	$(GO) test -count=1 -run 'TestCheckpointBoundsRecoveryReplay|TestBackgroundEvictionUnderBudget' ./internal/storage/
+	timeout 60 $(GO) test -count=1 -run 'TestTieringShape' ./internal/bench/
 
 # Observability overhead smoke: the ablation runs the same append workload
 # with the registry + tracing off and on, and fails if modeled throughput

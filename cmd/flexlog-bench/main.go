@@ -8,8 +8,8 @@
 //
 // Experiment ids: table1, fig1, fig4lat, fig4thr, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, ablate-batch, ablate-cache, ablate-readhold,
-// ablate-clientbatch, ablate-readpath, ablate-writepath, ext-burst, chaos
-// (also runnable via -chaos).
+// ablate-clientbatch, ablate-readpath, ablate-writepath, ablate-tiering,
+// ext-burst, chaos (also runnable via -chaos).
 package main
 
 import (

@@ -38,6 +38,8 @@ func main() {
 	segMB := flag.Int("pm-segment-mb", 4, "PM segment size (MiB)")
 	segments := flag.Int("pm-segments", 16, "PM segment slots")
 	cacheMB := flag.Int("cache-mb", 16, "DRAM cache size (MiB)")
+	pmBudgetMB := flag.Int("pm-budget-mb", 0, "PM budget for log segments (MiB); past it the lifecycle evicts cold segments to SSD (0 = no background eviction)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "write a recovery checkpoint every N flushed entries (0 = no checkpoints)")
 	dataDir := flag.String("data-dir", "", "directory for device snapshots; empty = volatile (replicas only)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/lanes, /debug/pprof on this address (e.g. :8080); empty disables observability")
 	flag.Parse()
@@ -94,6 +96,11 @@ func main() {
 			PMModel:     storage.DefaultConfig().PMModel,
 			SSDModel:    storage.DefaultConfig().SSDModel,
 			GroupCommit: true,
+
+			// Storage lifecycle (DESIGN.md §11): PM→SSD eviction under a
+			// budget, and checkpoints that bound recovery replay.
+			PMBudget:        uint64(*pmBudgetMB) << 20,
+			CheckpointEvery: *ckptEvery,
 		}
 		// Deployed replicas run the full parallel write path: the keyed
 		// write lane comes with DefaultConfig; group commit and
@@ -114,7 +121,7 @@ func main() {
 					if !os.IsNotExist(errPM) {
 						return nil, errPM
 					}
-					return storage.New(scfg) // first boot
+					return storage.Open(scfg) // first boot
 				}
 				dev, errSSD := ssd.LoadFrom(ssdPath, scfg.SSDModel)
 				if errSSD != nil {
@@ -124,7 +131,10 @@ func main() {
 					dev = ssd.New(scfg.SSDModel)
 				}
 				log.Printf("restored device snapshots from %s", *dataDir)
-				return storage.Attach(scfg, pool, dev)
+				return storage.Open(scfg,
+					storage.WithPMTier(pool),
+					storage.WithSSDTier(dev),
+					storage.WithAttach())
 			}
 			_ = os.MkdirAll(*dataDir, 0o755)
 		}

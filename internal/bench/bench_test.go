@@ -30,6 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8", "fig9", "fig10", "fig11",
 		"ablate-batch", "ablate-cache", "ablate-readhold",
 		"ablate-clientbatch", "ablate-readpath", "ablate-writepath",
+		"ablate-tiering",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -214,6 +215,45 @@ func TestFig10Shape(t *testing.T) {
 	// Linear growth: 100x records => much larger recovery time.
 	if large < 5*small {
 		t.Errorf("recovery not growing with records: 1K=%.2fms 100K=%.2fms", small, large)
+	}
+}
+
+// TestTieringShape is the tiering-smoke acceptance check: with the
+// lifecycle on (PM budget + checkpoints) recovery replay stays flat as
+// the log grows 4x at a constant live window, while the lifecycle-less
+// store's replay grows with the whole flushed log. The experiment itself
+// already asserts that every append succeeded and that evicted reads were
+// served from the cold tier.
+func TestTieringShape(t *testing.T) {
+	rep := runExperiment(t, "ablate-tiering")
+	onFirst, ok1 := rep.Value("Replay (lifecycle on)", "1x")
+	onLast, ok2 := rep.Value("Replay (lifecycle on)", "4x")
+	offFirst, ok3 := rep.Value("Replay (lifecycle off)", "1x")
+	offLast, ok4 := rep.Value("Replay (lifecycle off)", "4x")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		t.Fatal("missing replay points")
+	}
+	// Checkpoints bound replay: 4x log growth must not grow the replayed
+	// suffix beyond one checkpoint interval of slack.
+	if onLast > 1.3*onFirst+256 {
+		t.Errorf("lifecycle-on replay grew with the log: 1x=%.0f 4x=%.0f entries", onFirst, onLast)
+	}
+	// The ablation baseline rescans everything flushed — it must grow.
+	if offLast < 2*offFirst {
+		t.Errorf("lifecycle-off replay did not grow: 1x=%.0f 4x=%.0f entries", offFirst, offLast)
+	}
+	if raceEnabled {
+		return // wall-clock assertions are meaningless under -race
+	}
+	recFirst, _ := rep.Value("Recovery (lifecycle on)", "1x")
+	recLast, ok := rep.Value("Recovery (lifecycle on)", "4x")
+	if !ok {
+		t.Fatal("missing recovery points")
+	}
+	// Lenient flatness: bounded replay must keep recovery time from
+	// tracking log growth (4x data, well under 2.5x time).
+	if recLast > 2.5*recFirst+1 {
+		t.Errorf("lifecycle-on recovery time grew with the log: 1x=%.2fms 4x=%.2fms", recFirst, recLast)
 	}
 }
 

@@ -58,8 +58,17 @@ func TestScheduleDeterminism(t *testing.T) {
 	if counts[EvSetFaults] != 2 || counts[EvClearFaults] != 2 {
 		t.Fatalf("want two lossy-link windows, got %d/%d", counts[EvSetFaults], counts[EvClearFaults])
 	}
-	if counts[EvCrashReplica] == 0 || counts[EvCrashReplica] != counts[EvRecoverReplica] {
-		t.Fatalf("replica crash/recover unpaired: %d/%d", counts[EvCrashReplica], counts[EvRecoverReplica])
+	// Replica crashes come in three flavors (plain, mid-spill,
+	// mid-checkpoint); every flavor pairs with the same recover event.
+	crashes := counts[EvCrashReplica] + counts[EvCrashMidSpill] + counts[EvCrashMidCkpt]
+	if crashes == 0 || crashes != counts[EvRecoverReplica] {
+		t.Fatalf("replica crash/recover unpaired: %d/%d", crashes, counts[EvRecoverReplica])
+	}
+	// The flavor cycle guarantees both tier-lifecycle crash windows are
+	// exercised once per schedule (given at least two crash slots).
+	if counts[EvCrashMidSpill] != 1 || counts[EvCrashMidCkpt] != 1 {
+		t.Fatalf("want one mid-spill and one mid-ckpt crash, got %d/%d",
+			counts[EvCrashMidSpill], counts[EvCrashMidCkpt])
 	}
 	if counts[EvKillLeader] == 0 || counts[EvKillLeader] != counts[EvRestartLeader] {
 		t.Fatalf("leader kill/restart unpaired: %d/%d", counts[EvKillLeader], counts[EvRestartLeader])
@@ -113,6 +122,14 @@ func runSoak(t *testing.T, seed int64, dur time.Duration) {
 	// lane parallelism, folded PM windows and batched ordering all face
 	// the nemeses together.
 	ccfg.OrderCoalesce = true
+	// Run the full tiered-storage lifecycle under chaos: segments small
+	// enough that the workload actually fills them, a PM budget tight
+	// enough to force background evictions, and frequent checkpoints so
+	// the mid-spill/mid-ckpt nemeses land inside real activity.
+	ccfg.Storage.SegmentSize = 32 << 10
+	ccfg.Storage.PMBudget = 4 * ccfg.Storage.SegmentSize
+	ccfg.Storage.CheckpointEvery = 64
+	ccfg.Storage.LifecycleInterval = 5 * time.Millisecond
 	cl, err := core.TreeCluster(ccfg, 2, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"flexlog/internal/core"
 	"flexlog/internal/replica"
 	"flexlog/internal/seq"
+	"flexlog/internal/storage"
 	"flexlog/internal/types"
 )
 
@@ -70,6 +72,34 @@ func (e *Engine) apply(ev Event) {
 		}
 		r.Crash()
 		net.Isolate(ev.Node)
+	case EvCrashMidSpill, EvCrashMidCkpt:
+		// A crash inside a tier-lifecycle window: arm the store's one-shot
+		// failpoint, then synchronously drive the matching lifecycle
+		// operation into it. The store crashes itself mid-operation
+		// (ErrInjectedCrash); any other failure (e.g. nothing evictable
+		// yet) degrades to a plain crash-stop — the flavor is opportunistic,
+		// the crash itself is not.
+		r := e.cl.Replica(ev.Node)
+		if r == nil {
+			e.note(ev, "skipped: unknown replica")
+			return
+		}
+		st := r.Store()
+		var opErr error
+		if ev.Kind == EvCrashMidSpill {
+			st.InjectCrash(storage.CrashMidEviction)
+			opErr = st.ForceEvict()
+		} else {
+			st.InjectCrash(storage.CrashMidCheckpoint)
+			opErr = st.ForceCheckpoint()
+		}
+		st.InjectCrash(0) // disarm if the op failed before the window
+		r.Crash()
+		net.Isolate(ev.Node)
+		if !errors.Is(opErr, storage.ErrInjectedCrash) {
+			e.note(ev, fmt.Sprintf("degraded to plain crash: %v", opErr))
+			return
+		}
 	case EvRecoverReplica:
 		net.Rejoin(ev.Node)
 		if r := e.cl.Replica(ev.Node); r != nil {

@@ -41,6 +41,16 @@ const (
 	EvPartition
 	// EvHeal restores the link between nodes A and B.
 	EvHeal
+	// EvCrashMidSpill crash-stops replica Node in the middle of a
+	// PM→cold-tier segment eviction: the cold blob is written but not yet
+	// synced when the whole store crashes (storage.CrashMidEviction).
+	// Recovery must take the intact PM copy ("PM wins").
+	EvCrashMidSpill
+	// EvCrashMidCkpt crash-stops replica Node in the middle of a
+	// checkpoint write: the checkpoint blob is written but not synced
+	// (storage.CrashMidCheckpoint). Recovery must reject the torn
+	// checkpoint and fall back to the previous one.
+	EvCrashMidCkpt
 )
 
 func (k EventKind) String() string {
@@ -61,6 +71,10 @@ func (k EventKind) String() string {
 		return "partition"
 	case EvHeal:
 		return "heal"
+	case EvCrashMidSpill:
+		return "crash-mid-spill"
+	case EvCrashMidCkpt:
+		return "crash-mid-ckpt"
 	}
 	return "unknown"
 }
@@ -81,7 +95,7 @@ func (e Event) String() string {
 	switch e.Kind {
 	case EvSetFaults:
 		return fmt.Sprintf("%7s %s %s", at, e.Kind, e.Fault)
-	case EvCrashReplica, EvRecoverReplica:
+	case EvCrashReplica, EvRecoverReplica, EvCrashMidSpill, EvCrashMidCkpt:
 		return fmt.Sprintf("%7s %s node=%d", at, e.Kind, e.Node)
 	case EvKillLeader, EvRestartLeader:
 		return fmt.Sprintf("%7s %s color=%d", at, e.Kind, e.Color)
@@ -166,17 +180,30 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 		Event{At: frac(0.92), Kind: EvClearFaults},
 	)
 
-	// Serialized structural slots.
+	// Serialized structural slots. Replica crashes cycle through flavors:
+	// the first crash slot lands mid-spill (inside a PM→cold eviction),
+	// the second mid-checkpoint, and the rest are plain crash-stops — so
+	// every generated schedule exercises both torn-tier windows at least
+	// once while keeping crash/recover pairing intact.
 	cursor := frac(0.10)
 	limit := frac(0.85)
+	crashes := 0
 	for cursor < limit {
 		roll := rng.Float64()
 		switch {
 		case roll < 0.55 && len(cfg.Replicas) > 0:
 			node := cfg.Replicas[rng.Intn(len(cfg.Replicas))]
 			down := ms(30, 90)
+			kind := EvCrashReplica
+			switch crashes {
+			case 0:
+				kind = EvCrashMidSpill
+			case 1:
+				kind = EvCrashMidCkpt
+			}
+			crashes++
 			evs = append(evs,
-				Event{At: cursor, Kind: EvCrashReplica, Node: node},
+				Event{At: cursor, Kind: kind, Node: node},
 				Event{At: cursor + down, Kind: EvRecoverReplica, Node: node},
 			)
 			cursor += down

@@ -48,6 +48,15 @@ var (
 	ErrTimeout = errors.New("flexlog: operation timed out")
 	// ErrClosed is returned after the client is closed.
 	ErrClosed = errors.New("flexlog: client closed")
+	// ErrEvicted qualifies a read failure: every answering replica had the
+	// record evicted to its cold storage tier and could not serve it there
+	// (a transient condition, e.g. mid-recovery). Reads retry it
+	// internally; when it survives to the caller it wraps ErrTimeout.
+	ErrEvicted = errors.New("flexlog: record evicted and cold tier unavailable")
+	// ErrCheckpointTruncated qualifies ErrNotFound: the SN lies below the
+	// replicas' checkpoint recovery floor — trimmed and truncated from
+	// the recoverable log. Terminal; retrying cannot succeed.
+	ErrCheckpointTruncated = errors.New("flexlog: record below checkpoint recovery floor")
 )
 
 // ClientConfig parameterizes a client handle.
@@ -124,6 +133,7 @@ type readWait struct {
 	seen    map[types.NodeID]bool // responders counted (dup-delivery safe)
 	data    []byte
 	found   bool
+	status  uint8 // highest proto.ReadStatus* across ⊥ responses
 	done    chan struct{}
 	closed  bool
 }
@@ -283,6 +293,10 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 			w.waiting--
 			if m.Found {
 				w.data, w.found = m.Data, true
+			} else if m.Status > w.status {
+				// ⊥ qualifiers merge by precedence (evicted > checkpoint-
+				// truncated > trimmed > none), see proto.ReadStatus*.
+				w.status = m.Status
 			}
 			// First hit wins; all-⊥ completes when every shard answered.
 			if w.found || w.waiting <= 0 {
@@ -481,7 +495,9 @@ func (c *Client) ReadCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 			return nil, opError("read", color, sn, err)
 		}
 		if time.Now().After(deadline) {
-			return nil, opError("read", color, sn, fmt.Errorf("%w: read %v of %v", ErrTimeout, sn, color))
+			// Keep the last round's cause matchable (e.g. ErrEvicted when
+			// every retry found the cold tier unavailable).
+			return nil, opError("read", color, sn, fmt.Errorf("%w: read %v of %v: %w", ErrTimeout, sn, color, err))
 		}
 		// Retry against (probably) different replicas — the paper's §6.3
 		// "forces the FaaS application to re-execute the read".
@@ -525,7 +541,7 @@ func (c *Client) readOnce(ctx context.Context, sn types.SN, color types.ColorID,
 		close(w.done)
 	}
 	delete(c.reads, id)
-	found, data := w.found, w.data
+	found, data, status := w.found, w.data, w.status
 	c.mu.Unlock()
 	if found {
 		return data, nil
@@ -535,6 +551,15 @@ func (c *Client) readOnce(ctx context.Context, sn types.SN, color types.ColorID,
 	}
 	if timedOut {
 		return nil, fmt.Errorf("%w: read round", ErrTimeout)
+	}
+	switch status {
+	case proto.ReadStatusEvicted:
+		// Transient cold-tier failure: not ErrNotFound, so ReadCtx keeps
+		// retrying (likely against a recovered replica) until its deadline.
+		return nil, fmt.Errorf("%w (sn %v)", ErrEvicted, sn)
+	case proto.ReadStatusCkptTruncated:
+		// Terminal ⊥ with a cause the caller can distinguish.
+		return nil, fmt.Errorf("%w: %w", ErrNotFound, ErrCheckpointTruncated)
 	}
 	return nil, ErrNotFound
 }

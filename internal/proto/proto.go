@@ -62,12 +62,30 @@ type ReadReq struct {
 	Client types.NodeID
 }
 
-// ReadResp carries the record payload, or Found=false for ⊥ (§6.1).
+// ReadStatus qualifies a ⊥ read response (Found=false). The values are
+// ordered by precedence: when a client merges responses from several
+// replicas, the highest status wins.
+const (
+	// ReadStatusNone: plain ⊥ — hole, unknown SN, or hold timeout.
+	ReadStatusNone uint8 = iota
+	// ReadStatusTrimmed: the SN was garbage collected after a trim.
+	ReadStatusTrimmed
+	// ReadStatusCkptTruncated: the SN lies at or below the replica's
+	// checkpoint recovery floor — gone for good, clients should not retry.
+	ReadStatusCkptTruncated
+	// ReadStatusEvicted: the record was evicted to the cold tier and the
+	// tier could not serve it (transient, e.g. mid-recovery); retryable.
+	ReadStatusEvicted
+)
+
+// ReadResp carries the record payload, or Found=false for ⊥ (§6.1),
+// qualified by Status.
 type ReadResp struct {
-	ID    uint64
-	SN    types.SN
-	Data  []byte
-	Found bool
+	ID     uint64
+	SN     types.SN
+	Data   []byte
+	Found  bool
+	Status uint8 // ReadStatus*, meaningful when !Found
 }
 
 // SubscribeReq asks one replica of a shard for its local view of a color's

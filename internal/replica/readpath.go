@@ -238,12 +238,24 @@ func (r *Replica) onRead(from types.NodeID, m proto.ReadReq) {
 		}()
 	}
 	data, err := r.st.Get(m.Color, m.SN)
+	if errors.Is(err, storage.ErrEvicted) {
+		// The record's segment lives on the cold tier and the read failed
+		// (eviction/GC race or a crashed tier). Get retries internally, so
+		// one more attempt here, then report the transient status.
+		if data2, err2 := r.st.Get(m.Color, m.SN); err2 == nil {
+			data, err = data2, nil
+		} else {
+			r.stats.readMisses.Add(1)
+			r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Found: false, Status: proto.ReadStatusEvicted})
+			return
+		}
+	}
 	if err == nil {
 		r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Data: data, Found: true})
 		return
 	}
 	if errors.Is(err, storage.ErrTrimmed) {
-		r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Found: false})
+		r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Found: false, Status: trimStatus(err)})
 		return
 	}
 	// Not found. If the SN is above everything this replica has seen, the
@@ -270,6 +282,15 @@ func (r *Replica) onRead(from types.NodeID, m proto.ReadReq) {
 	r.ep.Send(from, proto.ReadResp{ID: m.ID, SN: m.SN, Found: false})
 }
 
+// trimStatus distinguishes a checkpoint-truncated trim miss from a plain
+// one (the client surfaces the former as a terminal error).
+func trimStatus(err error) uint8 {
+	if errors.Is(err, storage.ErrCheckpointTruncated) {
+		return proto.ReadStatusCkptTruncated
+	}
+	return proto.ReadStatusTrimmed
+}
+
 // wakeHeld releases the color's parked reads the frontier now satisfies.
 func (r *Replica) wakeHeld(color types.ColorID, frontier types.SN) {
 	if r.held.size() == 0 {
@@ -294,7 +315,9 @@ func (r *Replica) serveHeld(h heldRead) {
 	case err == nil:
 		r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Data: data, Found: true})
 	case errors.Is(err, storage.ErrTrimmed):
-		r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Found: false})
+		r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Found: false, Status: trimStatus(err)})
+	case errors.Is(err, storage.ErrEvicted):
+		r.ep.Send(h.from, proto.ReadResp{ID: h.req.ID, SN: h.req.SN, Found: false, Status: proto.ReadStatusEvicted})
 	default:
 		if r.frontier(h.req.Color) >= h.req.SN {
 			// A higher SN has appeared: the requested SN is a hole. ⊥.

@@ -92,12 +92,101 @@ func (st *Store) initObs() {
 	reg.CounterFunc("flexlog_pm_tx_total",
 		"Persistent-memory transactions, by outcome.", withKV(lb, "outcome", "rollback"),
 		func() uint64 { return st.pm.Stats().RecoveryRollbks })
+	// The closures read through ssdDevice()/st.cold at scrape time, so
+	// they stay live if a future option swaps the tier implementation.
 	reg.CounterFunc("flexlog_ssd_ops_total",
 		"SSD tier operations, by op.", withKV(lb, "op", "read"),
-		func() uint64 { return st.dev.Stats().Reads })
+		func() uint64 {
+			if dev := st.ssdDevice(); dev != nil {
+				return dev.Stats().Reads
+			}
+			return 0
+		})
 	reg.CounterFunc("flexlog_ssd_ops_total",
 		"SSD tier operations, by op.", withKV(lb, "op", "write"),
-		func() uint64 { return st.dev.Stats().Writes })
+		func() uint64 {
+			if dev := st.ssdDevice(); dev != nil {
+				return dev.Stats().Writes
+			}
+			return 0
+		})
+
+	// Cold tier (blob-level, regardless of backend) and lifecycle.
+	st.evictionH = reg.Histogram("flexlog_tier_eviction_seconds",
+		"Duration of one background segment eviction (PM snapshot through cold-tier sync).", lb)
+	st.checkpointH = reg.Histogram("flexlog_checkpoint_seconds",
+		"Duration of one checkpoint write (snapshot encode through cold-tier sync).", lb)
+
+	coldLb := withKV(lb, "tier", st.cold.Kind())
+	reg.CounterFunc("flexlog_tier_ops_total",
+		"Cold-tier blob operations, by op.", withKV(coldLb, "op", "put"),
+		func() uint64 { return st.cold.Stats().Puts })
+	reg.CounterFunc("flexlog_tier_ops_total",
+		"Cold-tier blob operations, by op.", withKV(coldLb, "op", "get"),
+		func() uint64 { return st.cold.Stats().Gets })
+	reg.CounterFunc("flexlog_tier_ops_total",
+		"Cold-tier blob operations, by op.", withKV(coldLb, "op", "delete"),
+		func() uint64 { return st.cold.Stats().Deletes })
+	reg.CounterFunc("flexlog_tier_ops_total",
+		"Cold-tier blob operations, by op.", withKV(coldLb, "op", "sync"),
+		func() uint64 { return st.cold.Stats().Syncs })
+	reg.CounterFunc("flexlog_tier_bytes_total",
+		"Cold-tier bytes moved, by direction.", withKV(coldLb, "dir", "in"),
+		func() uint64 { return st.cold.Stats().BytesIn })
+	reg.CounterFunc("flexlog_tier_bytes_total",
+		"Cold-tier bytes moved, by direction.", withKV(coldLb, "dir", "out"),
+		func() uint64 { return st.cold.Stats().BytesOut })
+	reg.GaugeFunc("flexlog_tier_blobs",
+		"Blobs currently stored on the cold tier.", coldLb,
+		func() float64 { return float64(st.cold.Stats().Blobs) })
+	reg.GaugeFunc("flexlog_tier_occupied_bytes",
+		"Bytes currently occupied on the cold tier.", coldLb,
+		func() float64 { return float64(st.cold.Stats().Bytes) })
+
+	reg.CounterFunc("flexlog_tier_evictions_total",
+		"Segments evicted from PM to the cold tier by the background lifecycle.", lb,
+		func() uint64 { st.alloc.RLock(); defer st.alloc.RUnlock(); return st.evictions })
+	reg.CounterFunc("flexlog_tier_evicted_bytes_total",
+		"Bytes evicted from PM to the cold tier by the background lifecycle.", lb,
+		func() uint64 { st.alloc.RLock(); defer st.alloc.RUnlock(); return st.evictedBytes })
+	reg.CounterFunc("flexlog_tier_gc_segments_total",
+		"Segments reclaimed by trim-driven garbage collection (both tiers).", lb,
+		func() uint64 { st.alloc.RLock(); defer st.alloc.RUnlock(); return st.gcSegments })
+	reg.CounterFunc("flexlog_tier_gc_bytes_total",
+		"Bytes reclaimed by trim-driven garbage collection (both tiers).", lb,
+		func() uint64 { st.alloc.RLock(); defer st.alloc.RUnlock(); return st.gcBytes })
+	reg.CounterFunc("flexlog_tier_miss_reads_total",
+		"PM-miss reads served from the cold tier.", lb,
+		func() uint64 { return st.coldMisses.Load() })
+	reg.GaugeFunc("flexlog_tier_resident_segments",
+		"Segments currently occupying PM slots.", lb,
+		func() float64 {
+			st.alloc.RLock()
+			defer st.alloc.RUnlock()
+			n := 0
+			for _, seg := range st.segs {
+				if !seg.flushed() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("flexlog_tier_pm_budget_bytes",
+		"Configured PM budget for resident segments (0: unbounded).", lb,
+		func() float64 { return float64(st.cfg.PMBudget) })
+
+	reg.CounterFunc("flexlog_checkpoints_total",
+		"Checkpoints written since the store opened.", lb,
+		func() uint64 { st.alloc.RLock(); defer st.alloc.RUnlock(); return st.checkpoints })
+	reg.GaugeFunc("flexlog_checkpoint_seq",
+		"Sequence number of the last durable checkpoint.", lb,
+		func() float64 { st.alloc.RLock(); defer st.alloc.RUnlock(); return float64(st.ckptSeq) })
+	reg.GaugeFunc("flexlog_checkpoint_entries",
+		"Entries covered by the last durable checkpoint.", lb,
+		func() float64 { st.alloc.RLock(); defer st.alloc.RUnlock(); return float64(st.ckptEntries) })
+	reg.GaugeFunc("flexlog_checkpoint_uncovered_entries",
+		"Entries flushed to the cold tier since the last durable checkpoint (replay debt).", lb,
+		func() float64 { st.alloc.RLock(); defer st.alloc.RUnlock(); return float64(st.uncovered) })
 }
 
 // withKV copies a label set and adds one more label.

@@ -52,6 +52,22 @@ type segment struct {
 	total  int           // entries appended
 	sealed bool          // no more appends (slot full)
 	tokens []types.Token // tokens of entries in this segment (for reclamation)
+
+	// evicting is the background evictor's claim: while set, the allocator
+	// must not reuse the slot (the evictor reads the PM bytes unlocked).
+	evicting atomic.Bool
+	// trimMarks lists the trim markers persisted inside this segment
+	// (guarded by st.alloc). Cold GC may only delete a flushed segment's
+	// blob once a durable checkpoint's trim floor covers every marker —
+	// otherwise a crash would lose the marker along with the blob.
+	trimMarks []trimMark
+}
+
+// trimMark is one persisted trim entry: records of color with SN <= sn are
+// garbage.
+type trimMark struct {
+	color types.ColorID
+	sn    types.SN
 }
 
 // newSegment builds a descriptor; slot is -1 for flushed (SSD-only) segments.
@@ -306,7 +322,7 @@ func (st *Store) readRecordAt(loc *entryLoc, idx int, flushed bool) ([]byte, err
 	buf := make([]byte, sp.len)
 	dataOff := loc.off + entryHeaderSize + uint64(sp.off)
 	if flushed {
-		if err := st.dev.ReadAt(loc.seg.ssdName(), int64(dataOff), buf); err != nil {
+		if err := st.cold.Get(loc.seg.ssdName(), int64(dataOff), buf); err != nil {
 			return nil, err
 		}
 		return buf, nil

@@ -34,10 +34,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"flexlog/internal/obs"
 	"flexlog/internal/pmem"
 	"flexlog/internal/ssd"
+	"flexlog/internal/storage/tier"
 	"flexlog/internal/types"
 )
 
@@ -52,7 +55,20 @@ var (
 	ErrUnknownToken = errors.New("storage: unknown token")
 	// ErrOutOfSpace is returned when PM is full and nothing can be flushed.
 	ErrOutOfSpace = errors.New("storage: out of space")
+	// ErrEvicted is returned when a record's segment was evicted to the
+	// cold tier and the cold copy could not be read (the tier is crashed
+	// or the blob is gone). The condition is transient across recovery;
+	// the replica read path retries before reporting it to clients.
+	ErrEvicted = errors.New("storage: record evicted and cold tier unreadable")
+	// ErrCheckpointTruncated qualifies ErrTrimmed: the SN lies at or below
+	// the recovery floor of the checkpoint this store restored from, so
+	// the record is gone even if its trim marker was never replayed.
+	ErrCheckpointTruncated = errors.New("storage: record below checkpoint recovery floor")
 )
+
+// errCheckpointTrimmed matches both ErrTrimmed (the long-standing miss
+// sentinel) and ErrCheckpointTruncated (the cause).
+var errCheckpointTrimmed = fmt.Errorf("%w (%w)", ErrTrimmed, ErrCheckpointTruncated)
 
 // Config sizes the storage stack.
 type Config struct {
@@ -62,6 +78,19 @@ type Config struct {
 	GroupCommit bool   // fold concurrent PM writes into shared transactions
 	PMModel     pmem.LatencyModel
 	SSDModel    ssd.LatencyModel
+
+	// PMBudget bounds the PM bytes occupied by log segments: when the
+	// resident set exceeds it, the background lifecycle evicts the oldest
+	// fully-committed segments to the cold tier. 0 disables proactive
+	// eviction (PM still spills on-demand when every slot is full).
+	PMBudget uint64
+	// CheckpointEvery triggers a checkpoint after that many entries have
+	// been flushed to the cold tier since the last one, bounding the
+	// recovery replay suffix. 0 disables checkpointing.
+	CheckpointEvery int
+	// LifecycleInterval is the background lifecycle tick (eviction, cold
+	// GC, checkpointing). 0 defaults to 10ms when the lifecycle is active.
+	LifecycleInterval time.Duration
 
 	// Obs, when set, publishes the store's counters and latency
 	// histograms into the registry (see obs.go); ObsNode labels them.
@@ -100,15 +129,19 @@ type Batch struct {
 // the write path's per-color sharding means operations on different colors
 // touch disjoint colorIndexes.
 type colorIndex struct {
-	mu      sync.RWMutex
-	bySN    map[types.SN]recordRef
-	maxSN   types.SN
-	trimmed types.SN // records with sn <= trimmed are gone
+	mu        sync.RWMutex
+	bySN      map[types.SN]recordRef
+	maxSN     types.SN
+	trimmed   types.SN // records with sn <= trimmed are gone
+	ckptFloor types.SN // trim watermark restored from a checkpoint (≤ trimmed)
 }
 
 // lookupLocked resolves sn to its record ref. Caller holds ci.mu.
 func (ci *colorIndex) lookupLocked(sn types.SN) (recordRef, error) {
 	if sn <= ci.trimmed {
+		if sn <= ci.ckptFloor {
+			return recordRef{}, errCheckpointTrimmed
+		}
 		return recordRef{}, ErrTrimmed
 	}
 	ref, ok := ci.bySN[sn]
@@ -138,7 +171,7 @@ type Store struct {
 	cfg Config
 
 	pm    *pmem.Pool
-	dev   *ssd.Device
+	cold  tier.Tier // the tier below PM (SSD, LSM, …); never nil
 	cache *stripedCache
 	gc    *groupCommitter // nil unless cfg.GroupCommit
 
@@ -160,60 +193,62 @@ type Store struct {
 	flushes  uint64
 	recovers uint64
 
+	// Lifecycle state (see lifecycle.go and checkpoint.go). The counters
+	// are guarded by alloc; ckptTrimmed holds the per-color trim floors of
+	// the last durable checkpoint — the watermarks cold GC may rely on.
+	lc           *lifecycle
+	evictions    uint64
+	evictedBytes uint64
+	gcSegments   uint64
+	gcBytes      uint64
+	checkpoints  uint64
+	ckptSeq      uint64
+	ckptEntries  int    // entries covered by the last durable checkpoint
+	uncovered    uint64 // entries flushed since the last durable checkpoint
+	ckptTrimmed  map[types.ColorID]types.SN
+	ckptCovered  map[uint64]bool // segment ids the last durable checkpoint covers
+	lastRecovery RecoveryStats
+
+	// ckptMu serializes checkpoint writes (the lifecycle tick vs
+	// ForceCheckpoint); held across no other store lock acquisition except
+	// the snapshot order documented in writeCheckpoint.
+	ckptMu sync.Mutex
+
+	// coldMisses counts PM-miss reads served by the cold tier; failpoint
+	// arms a one-shot lifecycle crash (chaos hook). Both are touched on
+	// lock-free paths.
+	coldMisses atomic.Uint64
+	failpoint  atomic.Uint32
+
 	// Observability (nil-safe when cfg.Obs is unset; see obs.go).
-	pmTxH     *obs.Histogram // PM transaction latency
-	gcWindowH *obs.Histogram // group-commit window latency
+	pmTxH       *obs.Histogram // PM transaction latency
+	gcWindowH   *obs.Histogram // group-commit window latency
+	evictionH   *obs.Histogram // background eviction latency
+	checkpointH *obs.Histogram // checkpoint write latency
 }
 
 // New creates a Store with fresh devices per cfg.
+//
+// Deprecated: use Open. New delegates to Open with no options.
 func New(cfg Config) (*Store, error) {
-	if cfg.SegmentSize < segHeaderSize+entryHeaderSize {
-		return nil, fmt.Errorf("storage: segment size %d too small", cfg.SegmentSize)
-	}
-	if cfg.NumSegments < 1 {
-		return nil, fmt.Errorf("storage: need at least one segment")
-	}
-	pmSize := int(cfg.SegmentSize)*cfg.NumSegments + 64
-	pool, err := pmem.New(pmSize, cfg.PMModel)
-	if err != nil {
-		return nil, err
-	}
-	return NewWithDevices(cfg, pool, ssd.New(cfg.SSDModel))
+	return Open(cfg)
 }
 
 // NewWithDevices creates a Store over existing devices (used by tests and
 // by recovery flows that re-attach to surviving media).
+//
+// Deprecated: use Open with WithPMTier and WithSSDTier.
 func NewWithDevices(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error) {
-	st := &Store{
-		cfg:     cfg,
-		pm:      pool,
-		dev:     dev,
-		cache:   newStripedCache(cfg.CacheBytes),
-		segs:    make(map[uint64]*segment),
-		byToken: make(map[types.Token]*entryLoc),
-		nextSeg: 1,
-	}
-	for i := 0; i < cfg.NumSegments; i++ {
-		off, err := pool.Alloc(int(cfg.SegmentSize))
-		if err != nil {
-			return nil, fmt.Errorf("storage: allocating slot %d: %w", i, err)
-		}
-		st.slots = append(st.slots, off)
-		st.slotSeg = append(st.slotSeg, nil)
-	}
-	if err := st.newActiveSegment(); err != nil {
-		return nil, err
-	}
-	st.initObs()
-	if cfg.GroupCommit {
-		st.gc = newGroupCommitter(pool, st.pmTxH, st.gcWindowH)
-	}
-	return st, nil
+	return Open(cfg, WithPMTier(pool), WithSSDTier(dev))
 }
 
-// Close stops the group committer (if any), draining queued writes. The
-// store remains readable; further writes fail with ErrCommitterClosed.
+// Close stops the background lifecycle and the group committer (if any),
+// draining queued writes. The store remains readable; further writes fail
+// with ErrCommitterClosed.
 func (st *Store) Close() {
+	if st.lc != nil {
+		st.lc.stop()
+	}
 	if st.gc != nil {
 		st.gc.close()
 	}
@@ -275,9 +310,12 @@ func (st *Store) newActiveSegment() error {
 // SSD and removed from PM", §5.2). Caller holds st.alloc.
 func (st *Store) flushOldest() (int, error) {
 	// Prefer reclaiming a dead segment — trimmed data needs no SSD write.
+	// Segments claimed by the background evictor are skipped everywhere:
+	// the evictor reads their PM bytes without the allocator lock, so
+	// reusing their slot under it would hand the evictor torn data.
 	var dead *segment
 	for _, seg := range st.segs {
-		if seg.flushed() || seg == st.active || seg.live.Load() > 0 {
+		if seg.flushed() || seg == st.active || seg.live.Load() > 0 || seg.evicting.Load() {
 			continue
 		}
 		if !st.segmentFlushable(seg) {
@@ -294,7 +332,7 @@ func (st *Store) flushOldest() (int, error) {
 	}
 	var victim *segment
 	for _, seg := range st.segs {
-		if seg.flushed() || seg == st.active {
+		if seg.flushed() || seg == st.active || seg.evicting.Load() {
 			continue
 		}
 		if !st.segmentFlushable(seg) {
@@ -311,20 +349,17 @@ func (st *Store) flushOldest() (int, error) {
 	if err := st.pm.Read(victim.pmOff, raw); err != nil {
 		return -1, err
 	}
-	name := victim.ssdName()
-	if err := st.dev.Create(name); err != nil {
+	if err := st.cold.Put(victim.ssdName(), raw); err != nil {
 		return -1, err
 	}
-	if _, err := st.dev.Append(name, raw); err != nil {
-		return -1, err
-	}
-	if err := st.dev.Sync(name); err != nil {
+	if err := st.cold.Sync(); err != nil {
 		return -1, err
 	}
 	slot := victim.slotIdx()
 	victim.slot.Store(-1)
 	st.slotSeg[slot] = nil
 	st.flushes++
+	st.uncovered += uint64(victim.total)
 	return slot, nil
 }
 
@@ -555,12 +590,16 @@ func (st *Store) Get(color types.ColorID, sn types.SN) ([]byte, error) {
 		flushed := seg.flushed()
 		data, derr := st.readRecordAt(ref.loc, ref.idx, flushed)
 		if flushed {
-			// SSD segment files are written once and never mutated.
-			if derr != nil {
-				return nil, derr
+			// Cold blobs are written once and never mutated, so a success
+			// is final. A failure is retried through the lookup: the blob
+			// may have been garbage collected after a trim landed, in
+			// which case the next lookup reports ErrTrimmed.
+			if derr == nil {
+				st.coldMisses.Add(1)
+				st.cache.put(color, sn, data)
+				return data, nil
 			}
-			st.cache.put(color, sn, data)
-			return data, nil
+			continue
 		}
 		if derr == nil {
 			st.alloc.RLock()
@@ -572,11 +611,11 @@ func (st *Store) Get(color types.ColorID, sn types.SN) ([]byte, error) {
 			}
 		}
 		// The PM slot was flushed or reclaimed mid-read: retry the lookup
-		// (the record moved to the SSD, or was trimmed away).
+		// (the record moved to the cold tier, or was trimmed away).
 	}
-	// Still racing after retries (or the PM read keeps failing): resolve
-	// with the allocator lock held across the read, where no flush can
-	// interleave (lock order: color, then allocator).
+	// Still racing after retries (or the device read keeps failing):
+	// resolve with the allocator lock held across the read, where no flush
+	// can interleave (lock order: color, then allocator).
 	ci.mu.RLock()
 	defer ci.mu.RUnlock()
 	ref, err := ci.lookupLocked(sn)
@@ -585,9 +624,16 @@ func (st *Store) Get(color types.ColorID, sn types.SN) ([]byte, error) {
 	}
 	st.alloc.RLock()
 	data, err := st.readRecordData(ref.loc, ref.idx)
+	flushed := ref.loc.seg.flushed()
 	st.alloc.RUnlock()
 	if err != nil {
+		if flushed {
+			return nil, fmt.Errorf("%w: segment %d: %v", ErrEvicted, ref.loc.seg.id, err)
+		}
 		return nil, err
+	}
+	if flushed {
+		st.coldMisses.Add(1)
 	}
 	st.cache.put(color, sn, data)
 	return data, nil
@@ -743,6 +789,7 @@ func (st *Store) Trim(color types.ColorID, sn types.SN) (head, tail types.SN, er
 		st.alloc.Unlock()
 		return 0, 0, e
 	}
+	seg.trimMarks = append(seg.trimMarks, trimMark{color: color, sn: sn})
 	wait, e := st.persistEntry(seg, off, buf)
 	st.alloc.Unlock()
 	if wait != nil {
@@ -753,6 +800,11 @@ func (st *Store) Trim(color types.ColorID, sn types.SN) (head, tail types.SN, er
 	}
 	st.applyTrimLocked(ci, color, sn)
 	head, tail = ci.boundsLocked()
+	// Trims create garbage: nudge the lifecycle so cold blobs whose records
+	// all died are reclaimed promptly.
+	if st.lc != nil {
+		st.lc.kick()
+	}
 	return head, tail, nil
 }
 
@@ -804,7 +856,7 @@ func (st *Store) Crash() {
 	locked := st.lockAllColors()
 	st.alloc.Lock()
 	st.pm.Crash()
-	st.dev.Crash()
+	st.cold.Crash()
 	st.alloc.Unlock()
 	unlockColors(locked)
 }
@@ -819,7 +871,9 @@ func (st *Store) Recover() error {
 	st.alloc.Lock()
 	defer st.alloc.Unlock()
 	st.pm.Recover()
-	st.dev.Recover()
+	if err := st.cold.Recover(); err != nil {
+		return err
+	}
 
 	st.segs = make(map[uint64]*segment)
 	st.byToken = make(map[types.Token]*entryLoc)
@@ -844,6 +898,7 @@ func (st *Store) Recover() error {
 		ci.bySN = make(map[types.SN]recordRef)
 		ci.maxSN = types.InvalidSN
 		ci.trimmed = types.InvalidSN
+		ci.ckptFloor = types.InvalidSN
 	}
 
 	type pendingTrim struct {
@@ -890,19 +945,24 @@ func (st *Store) Recover() error {
 				}
 				return nil
 			case entryKindTrim:
+				seg.trimMarks = append(seg.trimMarks, trimMark{color: e.color, sn: e.sn})
 				trims = append(trims, pendingTrim{color: e.color, sn: e.sn})
 			}
 			return nil
 		})
 	}
 
-	// Collect every segment image — PM slots (header first, then only the
-	// used prefix: the sequential scan whose cost Fig. 10 measures) and
-	// flushed SSD files — then ingest in ascending segment-id order so the
-	// rebuilt indexes match the pre-crash ones deterministically.
+	var stats RecoveryStats
+
+	// Collect every segment image — PM slots first (header, then only the
+	// used prefix: the sequential scan whose cost Fig. 10 measures). The PM
+	// copy of a segment always wins over its cold blob: eviction only frees
+	// the slot after the cold copy is synced, so a surviving resident copy
+	// means the blob may be torn.
 	type pendingSeg struct {
 		seg *segment
-		raw []byte
+		raw []byte   // image to scan; nil when restored from checkpoint
+		ck  *ckptSeg // checkpoint metadata (raw == nil)
 	}
 	var images []pendingSeg
 	for i, base := range st.slots {
@@ -925,30 +985,75 @@ func (st *Store) Recover() error {
 	for _, im := range images {
 		pmIDs[im.seg.id] = true
 	}
-	for _, name := range st.dev.List() {
+
+	// Restore covered segments from the newest durable checkpoint: their
+	// entry metadata is in the blob already — no segment read, no scan.
+	// This is what keeps recovery flat as the log grows (§5.2 / Fig. 10):
+	// only the suffix flushed after the checkpoint is replayed below.
+	ck := st.loadCheckpoint()
+	covered := make(map[uint64]bool)
+	if ck != nil {
+		stats.CheckpointSeq = ck.seq
+		stats.CoveredSegments = len(ck.segs)
+		for i := range ck.segs {
+			s := &ck.segs[i]
+			covered[s.id] = true
+			if pmIDs[s.id] {
+				continue
+			}
+			images = append(images, pendingSeg{seg: newSegment(s.id, -1, 0, s.used), ck: s})
+		}
+	}
+
+	// Scan the cold blobs flushed after the checkpoint (the bounded replay
+	// suffix). Blobs that are gone or torn are skipped, not fatal: a blob
+	// is only load-bearing once its eviction synced, and then either it is
+	// readable or the PM copy survived (handled above). Unreadable
+	// leftovers are torn artifacts of an unsynced eviction or blobs the
+	// cold GC deleted under checkpoint cover.
+	for _, name := range st.cold.List() {
 		var id uint64
 		if _, err := fmt.Sscanf(name, "seg-%d", &id); err != nil {
 			continue
 		}
-		if pmIDs[id] {
-			// The PM copy wins if both exist (flush completed but slot not
-			// yet reused): drop the stale file.
+		if pmIDs[id] || covered[id] {
 			continue
 		}
-		sz, err := st.dev.Size(name)
+		sz, err := st.cold.Size(name)
 		if err != nil {
-			return err
+			stats.MissingBlobs++
+			continue
 		}
 		raw := make([]byte, sz)
-		if err := st.dev.ReadAt(name, 0, raw); err != nil {
-			return err
+		if err := st.cold.Get(name, 0, raw); err != nil {
+			stats.MissingBlobs++
+			continue
+		}
+		if err := scanSegment(raw, func(uint64, decodedEntry, []byte) error { return nil }); err != nil {
+			stats.MissingBlobs++
+			continue
 		}
 		images = append(images, pendingSeg{seg: newSegment(id, -1, 0, uint64(sz)), raw: raw})
 	}
+
+	// Ingest in ascending segment-id (persist) order so the rebuilt indexes
+	// match the pre-crash ones deterministically.
 	sort.Slice(images, func(i, j int) bool { return images[i].seg.id < images[j].seg.id })
+	var flushedUncovered uint64
 	for _, im := range images {
-		if err := ingest(im.seg, im.raw); err != nil {
-			return err
+		if im.ck != nil {
+			st.restoreCkptSeg(im.seg, im.ck, colorLocked)
+			stats.RestoredEntries += len(im.ck.entries)
+		} else {
+			if err := ingest(im.seg, im.raw); err != nil {
+				return err
+			}
+			stats.ScannedSegments++
+			stats.ReplayedEntries += im.seg.total
+			stats.ReplayedBytes += uint64(len(im.raw))
+			if im.seg.flushed() {
+				flushedUncovered += uint64(im.seg.total)
+			}
 		}
 		st.segs[im.seg.id] = im.seg
 		if !im.seg.flushed() {
@@ -958,9 +1063,44 @@ func (st *Store) Recover() error {
 			st.nextSeg = im.seg.id + 1
 		}
 	}
+
+	// Trims: the checkpoint's color floors first (they subsume every trim
+	// the checkpoint observed applied), then the covered segments'
+	// preserved markers, then the markers replayed from scanned images.
+	if ck != nil {
+		for c, cc := range ck.colors {
+			ci := colorLocked(c)
+			ci.ckptFloor = cc.trimmed
+			st.applyTrimLocked(ci, c, cc.trimmed)
+			if cc.maxSN > ci.maxSN {
+				ci.maxSN = cc.maxSN
+			}
+		}
+		for _, s := range ck.segs {
+			for _, m := range s.marks {
+				st.applyTrimLocked(colorLocked(m.color), m.color, m.sn)
+			}
+		}
+	}
 	for _, tr := range trims {
 		st.applyTrimLocked(colorLocked(tr.color), tr.color, tr.sn)
 	}
+
+	// Lifecycle bookkeeping: the restored checkpoint becomes the durable
+	// one; everything scanned off the cold tier is uncovered again.
+	st.ckptCovered = covered
+	st.ckptTrimmed = make(map[types.ColorID]types.SN)
+	st.ckptSeq = 0
+	st.ckptEntries = 0
+	if ck != nil {
+		st.ckptSeq = ck.seq
+		st.ckptEntries = stats.RestoredEntries
+		for c, cc := range ck.colors {
+			st.ckptTrimmed[c] = cc.trimmed
+		}
+	}
+	st.uncovered = flushedUncovered
+
 	// Pick or create the active segment.
 	for _, seg := range st.segs {
 		if seg.flushed() || seg.used+entryHeaderSize >= st.cfg.SegmentSize {
@@ -976,7 +1116,45 @@ func (st *Store) Recover() error {
 		}
 	}
 	st.recovers++
+	st.lastRecovery = stats
 	return nil
+}
+
+// restoreCkptSeg registers a checkpoint-covered segment from metadata alone
+// (no device read). Caller holds st.alloc and the color locks regime of
+// Recover; colorLocked resolves (locking on demand) a color's index.
+func (st *Store) restoreCkptSeg(seg *segment, s *ckptSeg, colorLocked func(types.ColorID) *colorIndex) {
+	seg.sealed = true
+	seg.trimMarks = append([]trimMark(nil), s.marks...)
+	for _, e := range s.entries {
+		loc := &entryLoc{
+			seg: seg, off: e.off, payloadLen: e.payloadLen, spans: e.spans,
+			token: e.token, color: e.color,
+		}
+		loc.firstSN.Store(uint64(e.firstSN))
+		loc.liveCount.Store(int32(len(e.spans)))
+		seg.live.Add(1)
+		seg.total++
+		st.byToken[e.token] = loc
+		seg.tokens = append(seg.tokens, e.token)
+		if !e.firstSN.Valid() {
+			continue
+		}
+		ci := colorLocked(e.color)
+		for i := range e.spans {
+			sn := e.firstSN + types.SN(i)
+			if _, taken := ci.bySN[sn]; taken {
+				// Write-Once (§4): ids are processed in persist order, so
+				// the earlier record keeps the SN (see ingest).
+				loc.kill()
+				continue
+			}
+			ci.bySN[sn] = recordRef{loc: loc, idx: i}
+			if sn > ci.maxSN {
+				ci.maxSN = sn
+			}
+		}
+	}
 }
 
 // Stats reports storage-stack counters.
@@ -987,9 +1165,23 @@ type Stats struct {
 	Recoveries  uint64
 	CacheHits   uint64
 	CacheMisses uint64
-	GC          GCStats
-	PM          pmem.Stats
-	SSD         ssd.Stats
+
+	// Lifecycle counters (see lifecycle.go / checkpoint.go).
+	Evictions        uint64 // background evictions to the cold tier
+	EvictedBytes     uint64
+	GCSegments       uint64 // segments reclaimed (both tiers)
+	GCBytes          uint64
+	Checkpoints      uint64 // checkpoints written since open
+	CheckpointSeq    uint64 // sequence of the last durable checkpoint
+	ColdMissReads    uint64 // PM-miss reads served by the cold tier
+	ResidentSegments int    // segments currently occupying PM slots
+	ResidentBytes    uint64 // PM bytes those segments occupy
+	ColdSegments     int    // flushed segments (cold-tier only)
+
+	GC   GCStats
+	PM   pmem.Stats
+	SSD  ssd.Stats // zero unless the cold tier is device-backed
+	Cold tier.Stats
 }
 
 // Stats returns a snapshot of counters across the tiers.
@@ -1007,14 +1199,32 @@ func (st *Store) Stats() Stats {
 	defer st.alloc.RUnlock()
 	hits, misses := st.cache.stats()
 	s := Stats{
-		Records:     len(st.byToken),
-		Committed:   committed,
-		Flushes:     st.flushes,
-		Recoveries:  st.recovers,
-		CacheHits:   hits,
-		CacheMisses: misses,
-		PM:          st.pm.Stats(),
-		SSD:         st.dev.Stats(),
+		Records:       len(st.byToken),
+		Committed:     committed,
+		Flushes:       st.flushes,
+		Recoveries:    st.recovers,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		Evictions:     st.evictions,
+		EvictedBytes:  st.evictedBytes,
+		GCSegments:    st.gcSegments,
+		GCBytes:       st.gcBytes,
+		Checkpoints:   st.checkpoints,
+		CheckpointSeq: st.ckptSeq,
+		ColdMissReads: st.coldMisses.Load(),
+		PM:            st.pm.Stats(),
+		Cold:          st.cold.Stats(),
+	}
+	for _, seg := range st.segs {
+		if seg.flushed() {
+			s.ColdSegments++
+		} else {
+			s.ResidentSegments++
+			s.ResidentBytes += seg.used
+		}
+	}
+	if dev := st.ssdDevice(); dev != nil {
+		s.SSD = dev.Stats()
 	}
 	if st.gc != nil {
 		s.GC = st.gc.stats()
@@ -1024,50 +1234,33 @@ func (st *Store) Stats() Stats {
 
 // Attach re-opens a store over devices holding a previous incarnation's
 // data (e.g. snapshots restored by cmd/flexlog-server): the PM slots are
-// located at their canonical offsets (the same layout NewWithDevices
-// creates) and every volatile index is rebuilt by Recover's scan.
+// located at their canonical offsets (the same layout Open creates) and
+// every volatile index is rebuilt by Recover's scan.
+//
+// Deprecated: use Open with WithPMTier, WithSSDTier and WithAttach.
 func Attach(cfg Config, pool *pmem.Pool, dev *ssd.Device) (*Store, error) {
-	if cfg.SegmentSize < segHeaderSize+entryHeaderSize {
-		return nil, fmt.Errorf("storage: segment size %d too small", cfg.SegmentSize)
+	return Open(cfg, WithPMTier(pool), WithSSDTier(dev), WithAttach())
+}
+
+// ssdDevice returns the raw device backing the cold tier, if it has one
+// (the SSD and LSM backends do).
+func (st *Store) ssdDevice() *ssd.Device {
+	if d, ok := st.cold.(interface{ Device() *ssd.Device }); ok {
+		return d.Device()
 	}
-	if cfg.NumSegments < 1 {
-		return nil, fmt.Errorf("storage: need at least one segment")
-	}
-	need := pmem.DataStart + uint64(cfg.NumSegments)*cfg.SegmentSize
-	if uint64(pool.Size()) < need {
-		return nil, fmt.Errorf("storage: pool of %d bytes cannot hold %d segments of %d", pool.Size(), cfg.NumSegments, cfg.SegmentSize)
-	}
-	if got := pool.Allocated(); got < need {
-		return nil, fmt.Errorf("storage: pool allocation watermark %d below expected layout %d — not a store snapshot", got, need)
-	}
-	st := &Store{
-		cfg:     cfg,
-		pm:      pool,
-		dev:     dev,
-		cache:   newStripedCache(cfg.CacheBytes),
-		segs:    make(map[uint64]*segment),
-		byToken: make(map[types.Token]*entryLoc),
-		nextSeg: 1,
-	}
-	for i := 0; i < cfg.NumSegments; i++ {
-		st.slots = append(st.slots, pmem.DataStart+uint64(i)*cfg.SegmentSize)
-		st.slotSeg = append(st.slotSeg, nil)
-	}
-	if err := st.Recover(); err != nil {
-		return nil, err
-	}
-	st.initObs()
-	if cfg.GroupCommit {
-		st.gc = newGroupCommitter(pool, st.pmTxH, st.gcWindowH)
-	}
-	return st, nil
+	return nil
 }
 
 // SaveDevices snapshots both device tiers to files (see pmem.SaveTo and
-// ssd.SaveTo); Attach restores a store from them on the next boot.
+// ssd.SaveTo); Attach restores a store from them on the next boot. It
+// fails when the cold tier is not backed by a raw device.
 func (st *Store) SaveDevices(pmPath, ssdPath string) error {
+	dev := st.ssdDevice()
+	if dev == nil {
+		return fmt.Errorf("storage: cold tier %q has no snapshot-able device", st.cold.Kind())
+	}
 	if err := st.pm.SaveTo(pmPath); err != nil {
 		return err
 	}
-	return st.dev.SaveTo(ssdPath)
+	return dev.SaveTo(ssdPath)
 }

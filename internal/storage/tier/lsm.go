@@ -1,0 +1,284 @@
+package tier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"flexlog/internal/lsm"
+	"flexlog/internal/ssd"
+)
+
+// LSM serves blobs out of the log-structured merge engine (the RocksDB
+// stand-in of §9.1) — the backend for deployments that want the cold tier
+// compacted and indexed rather than stored as raw segment files.
+//
+// Each Put writes the payload under a fresh versioned key "b:<name>@<v>";
+// the blob becomes visible when Sync rewrites the directory record (key
+// "!dir", mapping name -> versioned key + size). Crash recovery reads the
+// directory back, so a blob is exactly as durable as the last Sync that
+// published it — version keys orphaned by a crash are invisible and
+// reclaimed the next time their name is synced or deleted.
+type LSM struct {
+	dev *ssd.Device
+	cfg lsm.Config
+
+	mu      sync.Mutex
+	db      *lsm.DB
+	dir     map[string]lsmBlob
+	ver     uint64
+	cleanup []string // versioned keys superseded since the last Sync
+	dirty   bool
+	stats   Stats
+}
+
+type lsmBlob struct {
+	key  string
+	size int
+}
+
+const lsmDirKey = "!dir"
+
+// NewLSM opens an LSM-backed tier over the device, picking up any
+// directory a previous incarnation synced (the WAL replay inside
+// lsm.Open makes this the attach path too).
+func NewLSM(cfg lsm.Config, dev *ssd.Device) (*LSM, error) {
+	db, err := lsm.Open(cfg, dev)
+	if err != nil {
+		return nil, err
+	}
+	t := &LSM{dev: dev, cfg: cfg, db: db, dir: make(map[string]lsmBlob)}
+	if err := t.loadDir(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Device exposes the underlying device for snapshotting (ssd.SaveTo).
+func (t *LSM) Device() *ssd.Device { return t.dev }
+
+// Kind implements Tier.
+func (t *LSM) Kind() string { return "lsm" }
+
+// Put implements Tier.
+func (t *LSM) Put(name string, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ver++
+	key := fmt.Sprintf("b:%s@%d", name, t.ver)
+	if err := t.db.Put([]byte(key), data); err != nil {
+		return err
+	}
+	if old, ok := t.dir[name]; ok {
+		t.cleanup = append(t.cleanup, old.key)
+	}
+	t.dir[name] = lsmBlob{key: key, size: len(data)}
+	t.dirty = true
+	t.stats.Puts++
+	t.stats.BytesIn += uint64(len(data))
+	return nil
+}
+
+// Get implements Tier.
+func (t *LSM) Get(name string, off int64, buf []byte) error {
+	t.mu.Lock()
+	b, ok := t.dir[name]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if off < 0 || off+int64(len(buf)) > int64(b.size) {
+		return fmt.Errorf("tier: read [%d,%d) beyond blob %s of %d bytes", off, off+int64(len(buf)), name, b.size)
+	}
+	data, err := t.db.Get([]byte(b.key))
+	if err != nil {
+		return err
+	}
+	copy(buf, data[off:])
+	t.mu.Lock()
+	t.stats.Gets++
+	t.stats.BytesOut += uint64(len(buf))
+	t.mu.Unlock()
+	return nil
+}
+
+// Delete implements Tier.
+func (t *LSM) Delete(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.dir[name]
+	if !ok {
+		return nil
+	}
+	delete(t.dir, name)
+	t.cleanup = append(t.cleanup, b.key)
+	t.dirty = true
+	t.stats.Deletes++
+	return nil
+}
+
+// Size implements Tier.
+func (t *LSM) Size(name string) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.dir[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return int64(b.size), nil
+}
+
+// List implements Tier.
+func (t *LSM) List() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.dir))
+	for n := range t.dir {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Sync implements Tier: the directory record is rewritten (publishing
+// every Put and Delete since the last Sync), then superseded version keys
+// are dropped. The engine's WAL makes each write durable on its own; the
+// directory flip is the atomic visibility point.
+func (t *LSM) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dirty {
+		if err := t.db.Put([]byte(lsmDirKey), t.encodeDir()); err != nil {
+			return err
+		}
+		for _, key := range t.cleanup {
+			if err := t.db.Delete([]byte(key)); err != nil {
+				return err
+			}
+		}
+		t.cleanup = t.cleanup[:0]
+		t.dirty = false
+	}
+	t.stats.Syncs++
+	return nil
+}
+
+// encodeDir serializes the directory. Caller holds t.mu.
+func (t *LSM) encodeDir() []byte {
+	var out []byte
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(t.dir)))
+	out = append(out, n[:]...)
+	for name, b := range t.dir {
+		for _, s := range []string{name, b.key} {
+			binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+			out = append(out, n[:]...)
+			out = append(out, s...)
+		}
+		binary.LittleEndian.PutUint32(n[:], uint32(b.size))
+		out = append(out, n[:]...)
+	}
+	return out
+}
+
+// loadDir reads the directory record back (empty engine: no directory).
+func (t *LSM) loadDir() error {
+	raw, err := t.db.Get([]byte(lsmDirKey))
+	if err != nil {
+		if err == lsm.ErrNotFound {
+			return nil
+		}
+		return err
+	}
+	dir := make(map[string]lsmBlob)
+	off := 0
+	readU32 := func() (uint32, bool) {
+		if off+4 > len(raw) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(raw[off : off+4])
+		off += 4
+		return v, true
+	}
+	readStr := func() (string, bool) {
+		l, ok := readU32()
+		if !ok || off+int(l) > len(raw) {
+			return "", false
+		}
+		s := string(raw[off : off+int(l)])
+		off += int(l)
+		return s, true
+	}
+	count, ok := readU32()
+	if !ok {
+		return fmt.Errorf("tier: corrupt lsm directory record")
+	}
+	for i := uint32(0); i < count; i++ {
+		name, ok1 := readStr()
+		key, ok2 := readStr()
+		size, ok3 := readU32()
+		if !ok1 || !ok2 || !ok3 {
+			return fmt.Errorf("tier: corrupt lsm directory entry %d", i)
+		}
+		dir[name] = lsmBlob{key: key, size: int(size)}
+	}
+	t.dir = dir
+	// Resume versioning past every published key so fresh Puts never
+	// collide with a restored blob's version.
+	for _, b := range dir {
+		if i := lastAt(b.key); i >= 0 {
+			var v uint64
+			if _, err := fmt.Sscanf(b.key[i+1:], "%d", &v); err == nil && v > t.ver {
+				t.ver = v
+			}
+		}
+	}
+	return nil
+}
+
+// lastAt returns the index of the last '@' in s, or -1.
+func lastAt(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '@' {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats implements Tier.
+func (t *LSM) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.Blobs = len(t.dir)
+	for _, b := range t.dir {
+		s.Bytes += uint64(b.size)
+	}
+	return s
+}
+
+// Crash implements Tier.
+func (t *LSM) Crash() {
+	t.dev.Crash()
+}
+
+// Recover implements Tier: the old engine is shut down against the
+// still-crashed device (so nothing volatile leaks back), the device is
+// recovered to its synced prefix, and a fresh engine replays the WAL.
+func (t *LSM) Recover() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dev.Crashed() {
+		t.db.Close()
+		t.dev.Recover()
+		db, err := lsm.Open(t.cfg, t.dev)
+		if err != nil {
+			return err
+		}
+		t.db = db
+	}
+	t.dir = make(map[string]lsmBlob)
+	t.cleanup = nil
+	t.dirty = false
+	return t.loadDir()
+}

@@ -1,0 +1,277 @@
+package tier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"flexlog/internal/pmem"
+)
+
+// PM is a blob directory over a dedicated persistent-memory pool — the
+// backend for deployments that reserve a PM region as the cold tier
+// (cheaper than SSD reads, smaller than the hot log). Records are laid
+// out with a bump allocator and never compacted: the pool is sized for
+// the working set, and a Put of an existing name supersedes the old
+// record by address order rather than reusing its space. That keeps the
+// crash story trivial — every record is written once, behind a
+// header-first commit protocol:
+//
+//	[u32 magic][u32 state][u32 nameLen][u32 dataLen][u32 crc][u32 _][name][data]
+//
+// A Put appends the record with state=pending; Sync flips pending records
+// to live (the durability barrier). Delete appends a tombstone record.
+// Recovery walks the records in address order, stopping at the first
+// invalid one (only the newest record can be torn: Puts are serialized),
+// and keeps the last live record or tombstone per name.
+type PM struct {
+	pool *pmem.Pool
+
+	mu      sync.Mutex
+	dir     map[string]pmBlob
+	pending []pmPending
+	stats   Stats
+}
+
+type pmBlob struct {
+	dataOff uint64
+	size    int
+}
+
+type pmPending struct {
+	name    string
+	stateAt uint64 // pool offset of the record's state field
+	blob    pmBlob
+	del     bool
+}
+
+const (
+	pmMagic      = 0x544C4F42 // "BLOT"
+	pmHeaderSize = 24
+
+	pmStatePending uint32 = 1
+	pmStateLive    uint32 = 2
+	pmTombPending  uint32 = 3
+	pmTombLive     uint32 = 4
+)
+
+// NewPM wraps a pool as a blob tier. The pool must be dedicated to this
+// tier (the directory walk assumes every allocation is a blob record).
+// Existing records — e.g. after pmem.LoadFrom — are picked up by Recover.
+func NewPM(pool *pmem.Pool) (*PM, error) {
+	t := &PM{pool: pool, dir: make(map[string]pmBlob)}
+	if err := t.Recover(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Kind implements Tier.
+func (t *PM) Kind() string { return "pm" }
+
+// Put implements Tier: the blob is visible immediately but its record
+// stays pending (invisible to recovery) until Sync flips its state.
+func (t *PM) Put(name string, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	off, err := t.appendRecord(name, data, pmStatePending)
+	if err != nil {
+		return err
+	}
+	blob := pmBlob{dataOff: off + pmHeaderSize + uint64(len(name)), size: len(data)}
+	t.dir[name] = blob
+	t.pending = append(t.pending, pmPending{name: name, stateAt: off + 4, blob: blob})
+	t.stats.Puts++
+	t.stats.BytesIn += uint64(len(data))
+	return nil
+}
+
+// Delete implements Tier: the blob leaves the live view now; a tombstone
+// record makes the deletion durable at the next Sync.
+func (t *PM) Delete(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, live := t.dir[name]
+	// Cancel any pending put of the name (its record stays pending forever
+	// and is skipped by recovery).
+	kept := t.pending[:0]
+	pendingPut := false
+	for _, p := range t.pending {
+		if p.name == name && !p.del {
+			pendingPut = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	t.pending = kept
+	if !live && !pendingPut {
+		return nil
+	}
+	delete(t.dir, name)
+	off, err := t.appendRecord(name, nil, pmTombPending)
+	if err != nil {
+		return err
+	}
+	t.pending = append(t.pending, pmPending{name: name, stateAt: off + 4, del: true})
+	t.stats.Deletes++
+	return nil
+}
+
+// appendRecord bump-allocates and writes one record. Caller holds t.mu.
+func (t *PM) appendRecord(name string, data []byte, state uint32) (uint64, error) {
+	rec := make([]byte, pmHeaderSize+len(name)+len(data))
+	binary.LittleEndian.PutUint32(rec[0:4], pmMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], state)
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(name)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(data)))
+	binary.LittleEndian.PutUint32(rec[16:20], crc32.ChecksumIEEE(data))
+	copy(rec[pmHeaderSize:], name)
+	copy(rec[pmHeaderSize+len(name):], data)
+	off, err := t.pool.Alloc(len(rec))
+	if err != nil {
+		return 0, err
+	}
+	if err := t.pool.Write(off, rec); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// Get implements Tier.
+func (t *PM) Get(name string, off int64, buf []byte) error {
+	t.mu.Lock()
+	b, ok := t.dir[name]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if off < 0 || off+int64(len(buf)) > int64(b.size) {
+		return fmt.Errorf("tier: read [%d,%d) beyond blob %s of %d bytes", off, off+int64(len(buf)), name, b.size)
+	}
+	if err := t.pool.Read(b.dataOff+uint64(off), buf); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.stats.Gets++
+	t.stats.BytesOut += uint64(len(buf))
+	t.mu.Unlock()
+	return nil
+}
+
+// Size implements Tier.
+func (t *PM) Size(name string) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.dir[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return int64(b.size), nil
+}
+
+// List implements Tier.
+func (t *PM) List() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.dir))
+	for n := range t.dir {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Sync implements Tier: every pending record is flipped live (puts) or
+// tombstone-live (deletes), in append order — the live view was already
+// updated by Put/Delete; this is only the durability barrier.
+func (t *PM) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var flip [4]byte
+	for _, p := range t.pending {
+		state := pmStateLive
+		if p.del {
+			state = pmTombLive
+		}
+		binary.LittleEndian.PutUint32(flip[:], state)
+		if err := t.pool.Write(p.stateAt, flip[:]); err != nil {
+			return err
+		}
+	}
+	t.pending = t.pending[:0]
+	t.stats.Syncs++
+	return nil
+}
+
+// Stats implements Tier.
+func (t *PM) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.Blobs = len(t.dir)
+	for _, b := range t.dir {
+		s.Bytes += uint64(b.size)
+	}
+	return s
+}
+
+// Crash implements Tier.
+func (t *PM) Crash() {
+	t.pool.Crash()
+	t.mu.Lock()
+	t.pending = nil
+	t.mu.Unlock()
+}
+
+// Recover implements Tier: the directory is rebuilt by walking the
+// records in address order up to the pool's allocation watermark.
+func (t *PM) Recover() error {
+	t.pool.Recover()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dir = make(map[string]pmBlob)
+	t.pending = nil
+	off := pmem.DataStart
+	end := t.pool.Allocated()
+	var hdr [pmHeaderSize]byte
+	for off+pmHeaderSize <= end {
+		if err := t.pool.Read(off, hdr[:]); err != nil {
+			return err
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != pmMagic {
+			break // torn tail record (or virgin space): stop the walk
+		}
+		state := binary.LittleEndian.Uint32(hdr[4:8])
+		nameLen := binary.LittleEndian.Uint32(hdr[8:12])
+		dataLen := binary.LittleEndian.Uint32(hdr[12:16])
+		crc := binary.LittleEndian.Uint32(hdr[16:20])
+		recEnd := off + pmHeaderSize + uint64(nameLen) + uint64(dataLen)
+		if nameLen == 0 || recEnd > end {
+			break
+		}
+		nameBuf := make([]byte, nameLen)
+		if err := t.pool.Read(off+pmHeaderSize, nameBuf); err != nil {
+			return err
+		}
+		name := string(nameBuf)
+		switch state {
+		case pmStateLive:
+			data := make([]byte, dataLen)
+			if err := t.pool.Read(off+pmHeaderSize+uint64(nameLen), data); err != nil {
+				return err
+			}
+			if crc32.ChecksumIEEE(data) != crc {
+				break // torn payload: nothing after it can be trusted
+			}
+			t.dir[name] = pmBlob{dataOff: off + pmHeaderSize + uint64(nameLen), size: int(dataLen)}
+		case pmTombLive:
+			delete(t.dir, name)
+		case pmStatePending, pmTombPending:
+			// Lost: the crash hit before the Sync barrier.
+		default:
+			return fmt.Errorf("tier: pm record at %d has invalid state %d", off, state)
+		}
+		off = recEnd
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Package tier defines the composable storage-tier abstraction of the
+// FlexLog store (§5.2). A Tier is a named-blob device: the store's
+// lifecycle machinery (segment spilling, checkpointing, trim-driven GC)
+// talks to whatever sits below PM — a raw SSD, an LSM engine over the
+// SSD, or a reserved PM region — through this one interface instead of
+// hard-wiring *ssd.Device.
+//
+// The contract every backend provides:
+//
+//   - Put replaces the named blob wholesale. The bytes are volatile until
+//     the next successful Sync (a crash before Sync may lose or truncate
+//     them — exactly the simulated devices' semantics).
+//   - Get reads len(buf) bytes at off. Reading a missing blob or past its
+//     end is an error; blobs are immutable between Put calls, so readers
+//     never see torn data.
+//   - Delete drops the blob (idempotent: deleting a missing blob is ok).
+//   - Sync is the durability barrier for every Put since the last Sync.
+//   - Crash/Recover simulate a power failure: unsynced writes are lost,
+//     synced blobs survive.
+//
+// Blob names are flat strings chosen by the caller (the store uses
+// "seg-<id>" for spilled segments and "ckpt-<seq>" for checkpoints).
+package tier
+
+import "errors"
+
+// ErrNotFound is returned by Get/Size for a blob that does not exist.
+var ErrNotFound = errors.New("tier: blob not found")
+
+// Tier is one level of the storage hierarchy, addressed as named blobs.
+type Tier interface {
+	// Kind labels the backend ("ssd", "lsm", "pm") for stats and metrics.
+	Kind() string
+	// Put replaces the named blob with data (volatile until Sync).
+	Put(name string, data []byte) error
+	// Get fills buf with the blob's bytes starting at off.
+	Get(name string, off int64, buf []byte) error
+	// Delete removes the blob. Deleting a missing blob is not an error.
+	Delete(name string) error
+	// Size returns the blob's length, or ErrNotFound.
+	Size(name string) (int64, error)
+	// List returns the names of all blobs (unordered).
+	List() []string
+	// Sync makes every previous Put durable.
+	Sync() error
+	// Stats returns the tier's activity counters.
+	Stats() Stats
+	// Crash simulates a power failure: unsynced writes are dropped.
+	Crash()
+	// Recover re-opens the tier after a Crash.
+	Recover() error
+}
+
+// Stats counts tier activity. Counters are cumulative; Blobs and Bytes
+// are the current occupancy.
+type Stats struct {
+	Blobs    int    // blobs currently stored
+	Bytes    uint64 // payload bytes currently stored
+	Puts     uint64
+	Gets     uint64
+	Deletes  uint64
+	Syncs    uint64
+	BytesIn  uint64 // payload bytes written by Put
+	BytesOut uint64 // payload bytes returned by Get
+}

@@ -1,0 +1,216 @@
+package tier
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"flexlog/internal/lsm"
+	"flexlog/internal/pmem"
+	"flexlog/internal/ssd"
+)
+
+// backends builds one instance of every Tier implementation, paired with
+// a crash+reopen function that simulates a process restart over the same
+// (surviving) media.
+func backends(t *testing.T) map[string]struct {
+	tier   Tier
+	reopen func() Tier
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		tier   Tier
+		reopen func() Tier
+	})
+
+	sdev := ssd.New(ssd.Zero())
+	out["ssd"] = struct {
+		tier   Tier
+		reopen func() Tier
+	}{NewSSD(sdev), func() Tier { return NewSSD(sdev) }}
+
+	pool, err := pmem.New(1<<20, pmem.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := NewPM(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["pm"] = struct {
+		tier   Tier
+		reopen func() Tier
+	}{pt, func() Tier {
+		nt, err := NewPM(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nt
+	}}
+
+	ldev := ssd.New(ssd.Zero())
+	lcfg := lsm.Config{MemTableBytes: 4 << 10, CompactionTrigger: 2, SyncWAL: true}
+	lt, err := NewLSM(lcfg, ldev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["lsm"] = struct {
+		tier   Tier
+		reopen func() Tier
+	}{lt, func() Tier {
+		nt, err := NewLSM(lcfg, ldev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nt
+	}}
+	return out
+}
+
+func TestTierPutGetDeleteRoundTrip(t *testing.T) {
+	for kind, b := range backends(t) {
+		t.Run(kind, func(t *testing.T) {
+			tr := b.tier
+			if tr.Kind() != kind {
+				t.Fatalf("Kind() = %q, want %q", tr.Kind(), kind)
+			}
+			data := []byte("the quick brown fox jumps over the lazy dog")
+			if err := tr.Put("blob-a", data); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			sz, err := tr.Size("blob-a")
+			if err != nil || sz != int64(len(data)) {
+				t.Fatalf("Size = %d, %v", sz, err)
+			}
+			// Full and partial reads.
+			buf := make([]byte, len(data))
+			if err := tr.Get("blob-a", 0, buf); err != nil || !bytes.Equal(buf, data) {
+				t.Fatalf("Get full = %q, %v", buf, err)
+			}
+			part := make([]byte, 5)
+			if err := tr.Get("blob-a", 4, part); err != nil || !bytes.Equal(part, data[4:9]) {
+				t.Fatalf("Get partial = %q, %v", part, err)
+			}
+			// Out-of-range reads fail rather than truncate.
+			if err := tr.Get("blob-a", int64(len(data))-2, make([]byte, 5)); err == nil {
+				t.Fatal("out-of-range Get succeeded")
+			}
+			// Overwrite replaces wholesale.
+			if err := tr.Put("blob-a", []byte("short")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if sz, _ := tr.Size("blob-a"); sz != 5 {
+				t.Fatalf("overwritten size = %d", sz)
+			}
+			// Delete, idempotently.
+			if err := tr.Delete("blob-a"); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Delete("blob-a"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tr.Size("blob-a"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Size after delete: %v", err)
+			}
+			if err := tr.Get("blob-a", 0, make([]byte, 1)); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get after delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestTierListAndStats(t *testing.T) {
+	for kind, b := range backends(t) {
+		t.Run(kind, func(t *testing.T) {
+			tr := b.tier
+			for i := 0; i < 5; i++ {
+				if err := tr.Put(fmt.Sprintf("n-%d", i), bytes.Repeat([]byte{byte(i)}, 10+i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tr.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			names := tr.List()
+			sort.Strings(names)
+			if len(names) != 5 || names[0] != "n-0" || names[4] != "n-4" {
+				t.Fatalf("List = %v", names)
+			}
+			s := tr.Stats()
+			if s.Puts != 5 || s.Blobs != 5 {
+				t.Fatalf("stats = %+v", s)
+			}
+			if s.Bytes != 10+11+12+13+14 {
+				t.Fatalf("occupancy = %d", s.Bytes)
+			}
+		})
+	}
+}
+
+// TestTierCrashSemantics: synced blobs survive a crash; unsynced puts and
+// deletes do not happen.
+func TestTierCrashSemantics(t *testing.T) {
+	for kind, b := range backends(t) {
+		t.Run(kind, func(t *testing.T) {
+			tr := b.tier
+			if err := tr.Put("durable", []byte("synced bytes")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			// Unsynced work: a new blob that must not survive.
+			if err := tr.Put("volatile", []byte("never synced")); err != nil {
+				t.Fatal(err)
+			}
+			tr.Crash()
+			if err := tr.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, len("synced bytes"))
+			if err := tr.Get("durable", 0, buf); err != nil || string(buf) != "synced bytes" {
+				t.Fatalf("durable blob after crash: %q, %v", buf, err)
+			}
+			// An unsynced put must not survive intact: either the blob is
+			// gone (pm, lsm) or truncated to its synced prefix (ssd).
+			if sz, err := tr.Size("volatile"); err == nil && sz == int64(len("never synced")) {
+				t.Fatalf("unsynced blob survived the crash intact (%d bytes)", sz)
+			} else if err != nil && !errors.Is(err, ErrNotFound) {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTierReopen: a fresh tier instance over the surviving media (the
+// process-restart path) sees every synced blob.
+func TestTierReopen(t *testing.T) {
+	for kind, b := range backends(t) {
+		t.Run(kind, func(t *testing.T) {
+			tr := b.tier
+			if err := tr.Put("kept", []byte("persistent")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if kind == "lsm" {
+				// Release the engine's device before a second Open.
+				tr.(*LSM).db.Close()
+			}
+			nt := b.reopen()
+			buf := make([]byte, len("persistent"))
+			if err := nt.Get("kept", 0, buf); err != nil || string(buf) != "persistent" {
+				t.Fatalf("reopened Get = %q, %v", buf, err)
+			}
+		})
+	}
+}
