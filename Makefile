@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke tiering-smoke
+.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke tiering-smoke codec-smoke
 
-verify: build test vet race chaos-smoke bench-write-smoke obs-smoke tiering-smoke docs-check
+verify: build test vet race chaos-smoke bench-write-smoke obs-smoke tiering-smoke codec-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,14 @@ tiering-smoke:
 # drops more than 5% (see internal/bench/obs.go and DESIGN.md §9).
 obs-smoke:
 	timeout 60 $(GO) run ./cmd/flexlog-bench -quick ablate-obs
+
+# Wire-codec smoke (DESIGN.md §12): the 0 allocs/op ceiling on the hot
+# frame types, the golden-bytes pin of the wire format, and the quick
+# TCP-deployment ablation (binary must hold >= 2x gob append throughput
+# over real loopback sockets).
+codec-smoke:
+	$(GO) test -count=1 -run 'TestCodecZeroAllocHotPath|TestCodecGolden' ./internal/proto/
+	timeout 120 $(GO) test -count=1 -run 'TestAblateCodecShape' ./internal/bench/
 
 # Godoc coverage gate: every exported symbol in internal/obs must carry a
 # doc comment (OPERATIONS.md's coverage test guards the metric names; this

