@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke tiering-smoke codec-smoke
+.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke tiering-smoke codec-smoke qos-smoke
 
-verify: build test vet race chaos-smoke bench-write-smoke obs-smoke tiering-smoke codec-smoke docs-check
+verify: build test vet race chaos-smoke bench-write-smoke obs-smoke tiering-smoke codec-smoke qos-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,15 @@ obs-smoke:
 codec-smoke:
 	$(GO) test -count=1 -run 'TestCodecZeroAllocHotPath|TestCodecGolden' ./internal/proto/
 	timeout 120 $(GO) test -count=1 -run 'TestAblateCodecShape' ./internal/bench/
+
+# Multi-tenant QoS smoke (DESIGN.md §13): the quick ablate-qos run must
+# show noisy-neighbor isolation (victim keeps >= ~80% of solo throughput
+# while the aggressor gets admission-throttled), zero sheds at nominal
+# load, and a hedged-read P99 win under a jitter-degraded replica; plus
+# the lane backpressure and retry-after unit tests under -race.
+qos-smoke:
+	$(GO) test -race -count=1 -run 'TestLaneBackpressure|TestLaneTenantFIFO|TestBackoffRetryAfter' ./internal/transport/ ./internal/core/
+	timeout 120 $(GO) test -count=1 -run 'TestAblateQoSShape' ./internal/bench/
 
 # Godoc coverage gate: every exported symbol in internal/obs must carry a
 # doc comment (OPERATIONS.md's coverage test guards the metric names; this

@@ -23,6 +23,7 @@ import (
 	"flexlog/internal/deploy"
 	"flexlog/internal/obs"
 	"flexlog/internal/pmem"
+	"flexlog/internal/qos"
 	"flexlog/internal/replica"
 	"flexlog/internal/seq"
 	"flexlog/internal/ssd"
@@ -120,6 +121,7 @@ func main() {
 		cfg.ReadHoldTimeout = time.Millisecond
 		cfg.HeartbeatInterval = 100 * time.Millisecond
 		cfg.RetryTimeout = time.Second
+		cfg.Tenants = m.TenantConfigs()
 
 		// Device snapshots make the simulated PM/SSD survive process
 		// restarts (standing in for reopening a PMDK pool file).
@@ -191,6 +193,7 @@ func main() {
 		cfg.FailureTimeout = time.Second
 		cfg.RetryTimeout = 2 * time.Second
 		cfg.StartAsLeader = si.Leader == nodeID
+		cfg.TenantOf = qos.ColorMap(m.TenantConfigs())
 		// Durable epochs: a cold restart must resume ABOVE every epoch the
 		// previous incarnation could have used, or SNs would repeat.
 		var epochPath string

@@ -1,39 +1,75 @@
-// Multi-tenancy on distinct colors (§5.1): two unrelated applications
-// append concurrently to their own colored logs. FlexLog imposes no
-// ordering relation between the tenants' records — each tenant gets its
-// own totally ordered log, served by its own leaf sequencer — while a
-// third application demonstrates the stronger end of the spectrum by
-// using the master region's global total order.
+// Multi-tenancy in FlexLog has two layers (§5.1, DESIGN.md §13):
+//
+//   - Colors isolate ORDER: each tenant appends to its own colored log,
+//     served by its own leaf sequencer, with no ordering relation (and no
+//     coordination cost) across tenants.
+//   - Tenant QoS isolates RESOURCES: every client carries a TenantID, and
+//     replicas map it onto weighted-fair scheduling, token-bucket
+//     admission and per-tenant accounting, so a flooding tenant cannot
+//     starve its neighbors even on shared shards.
+//
+// This example runs both: two well-behaved tenants on their own colors,
+// then a rate-capped aggressor flooding the shared master shard while a
+// victim keeps appending, and finally a hedged read against a
+// jitter-degraded replica.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"flexlog/internal/core"
+	"flexlog/internal/qos"
+	"flexlog/internal/transport"
 	"flexlog/internal/types"
 )
 
+const (
+	tenantA   types.TenantID = 1 // color 1, weight 4
+	tenantB   types.TenantID = 2 // color 2, weight 4
+	tenantBad types.TenantID = 7 // the noisy neighbor: weight 1, tight rate cap
+)
+
 func main() {
-	// Two leaf regions (one per tenant) under the master region.
-	cluster, err := core.TreeCluster(core.TestClusterConfig(), 2, 1)
+	cfg := core.TestClusterConfig()
+	// The QoS manifest: who gets how much. Weights set the DRR share on
+	// the replica service lanes; Rate/Burst arm token-bucket admission
+	// (tenants without a Rate — and the default tenant 0 — are never
+	// throttled). Colors attribute sequencer work to tenants.
+	// Rate is enforced at each replica's ingress, and a region striped
+	// over k shards admits up to k x Rate cluster-wide — size the cap
+	// against the shard fan-out, not the whole cluster.
+	cfg.Tenants = []qos.TenantConfig{
+		{ID: tenantA, Weight: 4, Colors: []types.ColorID{1}},
+		{ID: tenantB, Weight: 4, Colors: []types.ColorID{2}},
+		{ID: tenantBad, Weight: 1, Rate: 50, Burst: 5},
+	}
+
+	// Two leaf regions (one per well-behaved tenant) under the master.
+	cluster, err := core.TreeCluster(cfg, 2, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Stop()
-	// A shard on the master region for the globally ordered app.
 	if _, err := cluster.AddShard(types.MasterColor); err != nil {
 		log.Fatal(err)
 	}
 
+	// ---- Layer 1: colors isolate order ----
+
 	const perTenant = 10
 	var wg sync.WaitGroup
-	for tenant := 1; tenant <= 2; tenant++ {
+	for _, tenant := range []types.TenantID{tenantA, tenantB} {
 		wg.Add(1)
-		go func(tenant int) {
+		go func(tenant types.TenantID) {
 			defer wg.Done()
-			client, err := cluster.NewClient()
+			// WithTenant stamps the identity on every request this client
+			// sends; replicas and sequencers account it per tenant.
+			client, err := cluster.NewClient(core.WithTenant(tenant))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -52,7 +88,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for tenant := 1; tenant <= 2; tenant++ {
+	for _, tenant := range []types.TenantID{tenantA, tenantB} {
 		records, err := observer.Subscribe(types.ColorID(tenant), types.InvalidSN)
 		if err != nil {
 			log.Fatal(err)
@@ -65,15 +101,109 @@ func main() {
 			}
 		}
 	}
-
-	// The sequencers of the two tenants never talked to each other: no
-	// cross-tenant ordering exists, which is what lets both run at full
-	// speed (the FlexLog-P configuration of §9.1).
 	fmt.Println("no ordering relation exists between the two tenants' records (eventual consistency across colors)")
 
-	// Strongest consistency when needed: the master region's log is
-	// totally ordered across everything appended to it.
-	sn1, _ := observer.Append([][]byte{[]byte("global-1")}, types.MasterColor)
-	sn2, _ := observer.Append([][]byte{[]byte("global-2")}, types.MasterColor)
-	fmt.Printf("master-region appends are totally ordered: %v < %v = %v\n", sn1, sn2, sn1 < sn2)
+	// ---- Layer 2: QoS isolates resources on a SHARED log ----
+
+	// The aggressor floods the shared master log. Admission control
+	// rejects appends beyond its 50 rec/s envelope with ErrThrottled and
+	// a retry-after hint; the client retries internally honoring the
+	// hint, so with a short deadline the typed error surfaces to the
+	// caller.
+	victim, err := cluster.NewClient(core.WithTenant(tenantA))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	window := 800 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	var mu sync.Mutex
+	var throttled, flooded, victimOK int
+	var hint time.Duration
+	wg.Add(1)
+	go func() { // the victim keeps working through the flood
+		defer wg.Done()
+		for ctx.Err() == nil {
+			if _, err := victim.AppendCtx(ctx, [][]byte{[]byte("paying-customer")}, types.MasterColor); err == nil {
+				victimOK++
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ { // four concurrent flooders
+		noisy, err := cluster.NewClient(core.WithTenant(tenantBad))
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				opCtx, opCancel := context.WithTimeout(ctx, 50*time.Millisecond)
+				_, err := noisy.AppendCtx(opCtx, [][]byte{[]byte("flood")}, types.MasterColor)
+				opCancel()
+				mu.Lock()
+				switch {
+				case err == nil:
+					flooded++
+				case errors.Is(err, core.ErrThrottled):
+					throttled++
+					// The server says when capacity will exist again.
+					var ra *core.RetryAfterError
+					if errors.As(err, &ra) {
+						hint = ra.After
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cancel()
+	fmt.Printf("aggressor over %v: %d admitted, %d throttled (last retry-after hint %v)\n",
+		window, flooded, throttled, hint)
+	fmt.Printf("victim completed %d appends on the SAME log while the flood ran\n", victimOK)
+	if throttled == 0 {
+		log.Fatal("admission control never engaged — QoS misconfigured")
+	}
+
+	// Every replica keeps per-tenant books (also exported through the
+	// metrics registry and /debug/lanes).
+	shard := cluster.Topology().ShardsInRegion(types.MasterColor)[0]
+	if r := cluster.Replica(shard.Replicas[0]); r != nil {
+		for _, ts := range r.TenantStats() {
+			fmt.Printf("  replica %d books: tenant=%d appends=%d reads=%d throttled=%d shed=%d\n",
+				shard.Replicas[0], ts.Tenant, ts.Appends, ts.Reads, ts.Throttled, ts.Shed)
+		}
+	}
+
+	// ---- Hedged reads: tail tolerance for the read path ----
+
+	// One replica per master shard turns slow (millisecond jitter, the
+	// slow-replica nemesis). A hedging client clones a straggling read to
+	// a second replica after 300us and takes the first answer — a round
+	// hedges whenever its randomly chosen primary is the degraded one.
+	hedger, err := cluster.NewClient(
+		core.WithTenant(tenantA),
+		core.WithHedging(core.HedgeConfig{Delay: 300 * time.Microsecond, BudgetPercent: 50}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sn, err := hedger.Append([][]byte{[]byte("hedge-me")}, types.MasterColor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	masterShards := cluster.Topology().ShardsInRegion(types.MasterColor)
+	for _, sh := range masterShards {
+		cluster.Network().SetNodeFaults(sh.Replicas[0], transport.FaultModel{JitterMax: 2 * time.Millisecond})
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := hedger.Read(sn, types.MasterColor); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, sh := range masterShards {
+		cluster.Network().SetNodeFaults(sh.Replicas[0], transport.FaultModel{})
+	}
+	fmt.Printf("50 reads against a jitter-degraded log: %d hedged to healthy siblings\n", hedger.HedgedReads())
 }

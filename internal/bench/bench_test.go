@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8", "fig9", "fig10", "fig11",
 		"ablate-batch", "ablate-cache", "ablate-readhold",
 		"ablate-clientbatch", "ablate-readpath", "ablate-writepath",
-		"ablate-tiering", "ablate-codec",
+		"ablate-tiering", "ablate-codec", "ablate-qos",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -262,23 +262,39 @@ func TestFig11Shape(t *testing.T) {
 	if raceEnabled {
 		t.Skip("measurement-based shape test skipped under the race detector")
 	}
-	rep := runExperiment(t, "fig11")
+	// The modeled throughput depends on how ordering requests coalesce,
+	// which follows wall-clock batching windows — a slow window on a
+	// loaded machine skews the 3-vs-6-shard ratio. Retry once before
+	// declaring a regression, like the other shape tests.
+	var err error
+	for attempt := 1; attempt <= 2; attempt++ {
+		rep := runExperiment(t, "fig11")
+		if err = fig11ShapeGates(rep); err == nil {
+			return
+		}
+		t.Logf("attempt %d: %v", attempt, err)
+	}
+	t.Error(err)
+}
+
+func fig11ShapeGates(rep *Report) error {
 	thr3, _ := rep.Value("Throughput (3 shards)", "4")
 	thr6, _ := rep.Value("Throughput (6 shards)", "4")
 	rd3, _ := rep.Value("Read lat (3 shards)", "4")
 	rd6, _ := rep.Value("Read lat (6 shards)", "4")
 	if thr3 <= 0 || thr6 <= 0 {
-		t.Fatal("missing throughput values")
+		return fmt.Errorf("missing throughput values")
 	}
 	// Paper: double the shards => ~double the throughput. Quick mode uses
 	// few ops, so accept a modestly smaller factor against sampling noise.
 	if thr6 < 1.4*thr3 {
-		t.Errorf("6 shards (%.0fk) not well above 3 shards (%.0fk)", thr6, thr3)
+		return fmt.Errorf("6 shards (%.0fk) not well above 3 shards (%.0fk)", thr6, thr3)
 	}
 	// Reads are local: latency roughly unaffected by data-layer scale.
 	if rd6 > 2.5*rd3+1 {
-		t.Errorf("read latency grew with shards: %.2fms vs %.2fms", rd3, rd6)
+		return fmt.Errorf("read latency grew with shards: %.2fms vs %.2fms", rd3, rd6)
 	}
+	return nil
 }
 
 func TestAblations(t *testing.T) {
@@ -496,6 +512,81 @@ func TestAblateCodecShape(t *testing.T) {
 		t.Logf("attempt %d: %v", attempt, err)
 	}
 	t.Error(err)
+}
+
+func TestAblateQoSShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("measurement-based shape test skipped under the race detector")
+	}
+	// Both gates compare wall-clock measurements taken in separate time
+	// windows, so a loaded machine can hand one side a bad window; retry
+	// once before declaring a regression.
+	var err error
+	for attempt := 1; attempt <= 2; attempt++ {
+		rep := runExperiment(t, "ablate-qos")
+		if err = qosShapeGates(rep); err == nil {
+			return
+		}
+		t.Logf("attempt %d: %v", attempt, err)
+	}
+	t.Error(err)
+}
+
+// qosShapeGates checks one ablate-qos report against the acceptance bars:
+// the victim keeps the dominant share of served records under the
+// aggressor flood (and >= ~80% of its solo wall-clock throughput when the
+// host is fast enough for that comparison to mean anything), the
+// aggressor actually gets throttled, nothing is shed at nominal (solo)
+// load, and hedging cuts the slow-replica read P99.
+func qosShapeGates(rep *Report) error {
+	solo, ok1 := rep.Value("victim appends", "baseline")
+	noisy, ok2 := rep.Value("victim appends", "qos")
+	if !ok1 || !ok2 || solo <= 0 {
+		return fmt.Errorf("missing victim throughput values: solo=%v noisy=%v", solo, noisy)
+	}
+	// The replica-side share gate is host-speed-independent: admission
+	// caps the aggressor at 200 rec/s + burst, so however fast the window
+	// ran, the victim must have received the overwhelming share of served
+	// records. (A fair-share scheduler without admission would leave the
+	// victim near its 4/5 lane weight; broken isolation drops it further.)
+	shareQoS, ok := rep.Value("victim served share", "qos")
+	if !ok {
+		return fmt.Errorf("missing victim served share")
+	}
+	if shareQoS < 80 {
+		return fmt.Errorf("noisy-neighbor isolation broken: victim served share %.1f%% (<80%%)", shareQoS)
+	}
+	// The solo-vs-noisy wall-clock ratio compares two separate time
+	// windows. On an idle host it is the paper-style acceptance bar; on a
+	// contended host (the whole-repo test sweep on one core) the two
+	// windows mostly measure ambient load, so only a catastrophic floor
+	// is enforced there — the share gate above still binds.
+	const nominalKOps = 12 // fresh single-core runs deliver ~20k ops/s
+	ratioBar := 0.8
+	if solo < nominalKOps {
+		ratioBar = 0.4
+	}
+	if noisy < ratioBar*solo {
+		return fmt.Errorf("noisy-neighbor isolation broken: victim %.2fk ops/s with aggressor vs %.2fk solo (<%.0f%%)", noisy, solo, ratioBar*100)
+	}
+	if throttled, ok := rep.Value("agg throttled", "qos"); !ok || throttled == 0 {
+		return fmt.Errorf("aggressor was never throttled (admission control inert): %v", throttled)
+	}
+	if sheds, ok := rep.Value("lane sheds", "baseline"); !ok || sheds != 0 {
+		return fmt.Errorf("unexpected sheds at nominal load: %v", sheds)
+	}
+	unhedged, ok1 := rep.Value("read P99", "baseline")
+	hedged, ok2 := rep.Value("read P99", "qos")
+	if !ok1 || !ok2 || unhedged <= 0 {
+		return fmt.Errorf("missing read P99 values: unhedged=%v hedged=%v", unhedged, hedged)
+	}
+	if hedged >= 0.9*unhedged {
+		return fmt.Errorf("hedging did not cut the slow-replica tail: P99 hedged=%.0fus unhedged=%.0fus", hedged, unhedged)
+	}
+	if n, ok := rep.Value("hedged rounds", "qos"); !ok || n == 0 {
+		return fmt.Errorf("no rounds hedged (hedging inert): %v", n)
+	}
+	return nil
 }
 
 // codecShapeGates checks one ablate-codec report against the acceptance

@@ -11,12 +11,18 @@ import (
 
 	"flexlog/internal/core"
 	"flexlog/internal/histcheck"
+	"flexlog/internal/qos"
 	"flexlog/internal/types"
 )
 
 // defaultSeed is the pinned CI seed; override with FLEXLOG_CHAOS_SEED to
 // replay a failing run.
 const defaultSeed int64 = 20260805
+
+// aggressorTenant is the identity the noisy-neighbor flood appends
+// under; the soak cluster declares it with a tight rate cap so admission
+// control and the weighted-fair lanes face the nemeses live.
+const aggressorTenant types.TenantID = 9
 
 func soakSeed(t *testing.T) int64 {
 	t.Helper()
@@ -33,9 +39,10 @@ func soakSeed(t *testing.T) int64 {
 
 func TestScheduleDeterminism(t *testing.T) {
 	cfg := GenConfig{
-		Duration: 30 * time.Second,
-		Replicas: []types.NodeID{1, 2, 3, 4, 5, 6},
-		Colors:   []types.ColorID{1, 2},
+		Duration:  30 * time.Second,
+		Replicas:  []types.NodeID{1, 2, 3, 4, 5, 6},
+		Colors:    []types.ColorID{1, 2},
+		Aggressor: aggressorTenant,
 	}
 	a := Generate(42, cfg)
 	b := Generate(42, cfg)
@@ -75,6 +82,19 @@ func TestScheduleDeterminism(t *testing.T) {
 	}
 	if counts[EvPartition] != counts[EvHeal] {
 		t.Fatalf("partition/heal unpaired: %d/%d", counts[EvPartition], counts[EvHeal])
+	}
+	// The QoS nemeses: exactly one slow-replica window and one
+	// noisy-neighbor window per schedule, each opened and closed.
+	if counts[EvSlowReplica] != 1 || counts[EvSlowHeal] != 1 {
+		t.Fatalf("slow-replica window unpaired: %d/%d", counts[EvSlowReplica], counts[EvSlowHeal])
+	}
+	if counts[EvNoisyStart] != 1 || counts[EvNoisyStop] != 1 {
+		t.Fatalf("noisy-neighbor window unpaired: %d/%d", counts[EvNoisyStart], counts[EvNoisyStop])
+	}
+	for _, ev := range a.Events {
+		if ev.Kind == EvNoisyStart && ev.Tenant != aggressorTenant {
+			t.Fatalf("noisy-start carries tenant %d, want %d", ev.Tenant, aggressorTenant)
+		}
 	}
 	for i := 1; i < len(a.Events); i++ {
 		if a.Events[i].At < a.Events[i-1].At {
@@ -130,6 +150,16 @@ func runSoak(t *testing.T, seed int64, dur time.Duration) {
 	ccfg.Storage.PMBudget = 4 * ccfg.Storage.SegmentSize
 	ccfg.Storage.CheckpointEvery = 64
 	ccfg.Storage.LifecycleInterval = 5 * time.Millisecond
+	// Multi-tenant QoS under chaos (DESIGN.md §13): the recorded victim
+	// workload runs as the default tenant (never throttled); the
+	// EvNoisyStart aggressor floods under a tenant with a tight rate cap,
+	// so token-bucket admission, weighted-fair dispatch and the typed
+	// backpressure path all face the nemeses while the oracle watches the
+	// victim's history.
+	ccfg.Tenants = []qos.TenantConfig{
+		{ID: types.DefaultTenant, Weight: 4},
+		{ID: aggressorTenant, Weight: 1, Rate: 200, Burst: 50},
+	}
 	cl, err := core.TreeCluster(ccfg, 2, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +173,7 @@ func runSoak(t *testing.T, seed int64, dur time.Duration) {
 		}
 	}
 
-	sched := Generate(seed, GenConfig{Duration: dur, Replicas: replicas, Colors: colors})
+	sched := Generate(seed, GenConfig{Duration: dur, Replicas: replicas, Colors: colors, Aggressor: aggressorTenant})
 	eng := NewEngine(cl, sched)
 
 	failCtx := func(format string, args ...any) {

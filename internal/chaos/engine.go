@@ -11,6 +11,7 @@ import (
 	"flexlog/internal/replica"
 	"flexlog/internal/seq"
 	"flexlog/internal/storage"
+	"flexlog/internal/transport"
 	"flexlog/internal/types"
 )
 
@@ -25,6 +26,9 @@ type Engine struct {
 	mu      sync.Mutex
 	killed  map[types.ColorID]types.NodeID // leader killed, awaiting restart
 	applied []string
+
+	noisyCancel context.CancelFunc // running aggressor flood, if any
+	noisyWG     sync.WaitGroup
 }
 
 // NewEngine binds a schedule to a cluster.
@@ -149,8 +153,69 @@ func (e *Engine) apply(ev Event) {
 		net.Partition(ev.A, ev.B)
 	case EvHeal:
 		net.Heal(ev.A, ev.B)
+	case EvSlowReplica:
+		net.SetNodeFaults(ev.Node, ev.Fault)
+	case EvSlowHeal:
+		net.SetNodeFaults(ev.Node, transport.FaultModel{})
+	case EvNoisyStart:
+		if msg := e.startNoisy(ev); msg != "" {
+			e.note(ev, msg)
+			return
+		}
+	case EvNoisyStop:
+		e.stopNoisy()
 	}
 	e.note(ev, "")
+}
+
+// startNoisy launches the aggressor flood: two goroutines appending to
+// the event's region as fast as admission allows, under the event's
+// tenant identity. Append errors are swallowed — being throttled and
+// shed IS the behavior under test; what matters is that the recorded
+// victim workload keeps making progress while the flood runs.
+func (e *Engine) startNoisy(ev Event) string {
+	e.mu.Lock()
+	if e.noisyCancel != nil {
+		e.mu.Unlock()
+		return "skipped: flood already running"
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e.noisyCancel = cancel
+	e.mu.Unlock()
+	cli, err := e.cl.NewClient(core.WithTenant(ev.Tenant))
+	if err != nil {
+		cancel()
+		e.mu.Lock()
+		e.noisyCancel = nil
+		e.mu.Unlock()
+		return fmt.Sprintf("skipped: client: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		i := i
+		e.noisyWG.Add(1)
+		go func() {
+			defer e.noisyWG.Done()
+			for n := 0; ctx.Err() == nil; n++ {
+				payload := []byte(fmt.Sprintf("noisy-t%d-g%d-%07d", ev.Tenant, i, n))
+				opCtx, opCancel := context.WithTimeout(ctx, time.Second)
+				_, _ = cli.AppendCtx(opCtx, [][]byte{payload}, ev.Color)
+				opCancel()
+			}
+		}()
+	}
+	return ""
+}
+
+// stopNoisy cancels a running flood and joins its goroutines.
+func (e *Engine) stopNoisy() {
+	e.mu.Lock()
+	cancel := e.noisyCancel
+	e.noisyCancel = nil
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		e.noisyWG.Wait()
+	}
 }
 
 func (e *Engine) note(ev Event, extra string) {
@@ -177,6 +242,7 @@ func (e *Engine) Applied() []string {
 // and every listed region has a serving leader again. The returned error
 // carries what was still unhealthy at the deadline.
 func (e *Engine) HealAndRecover(replicas []types.NodeID, colors []types.ColorID, timeout time.Duration) error {
+	e.stopNoisy()
 	net := e.cl.Network()
 	net.ClearFaults()
 	net.HealAll()

@@ -51,6 +51,23 @@ const (
 	// (storage.CrashMidCheckpoint). Recovery must reject the torn
 	// checkpoint and fall back to the previous one.
 	EvCrashMidCkpt
+	// EvSlowReplica degrades every link touching replica Node with the
+	// event's fault model (typically heavy jitter) while the rest of the
+	// fabric stays clean — the slow-replica nemesis hedged reads are
+	// designed for (DESIGN.md §13.4). Not structural: the node stays up
+	// and in quorum, it is just slow.
+	EvSlowReplica
+	// EvSlowHeal removes replica Node's link degradation.
+	EvSlowHeal
+	// EvNoisyStart launches an aggressor append flood against region
+	// Color under tenant identity Tenant — the noisy-neighbor nemesis
+	// admission control and the weighted-fair lanes must contain
+	// (DESIGN.md §13.2–§13.3). The flood's appends are unrecorded; the
+	// oracle judges only the victim workload, which must keep making
+	// progress.
+	EvNoisyStart
+	// EvNoisyStop cancels the aggressor flood.
+	EvNoisyStop
 )
 
 func (k EventKind) String() string {
@@ -75,6 +92,14 @@ func (k EventKind) String() string {
 		return "crash-mid-spill"
 	case EvCrashMidCkpt:
 		return "crash-mid-ckpt"
+	case EvSlowReplica:
+		return "slow-replica"
+	case EvSlowHeal:
+		return "slow-heal"
+	case EvNoisyStart:
+		return "noisy-start"
+	case EvNoisyStop:
+		return "noisy-stop"
 	}
 	return "unknown"
 }
@@ -84,10 +109,11 @@ type Event struct {
 	At   time.Duration
 	Kind EventKind
 
-	Node  types.NodeID         // CrashReplica / RecoverReplica target
-	Color types.ColorID        // KillLeader / RestartLeader region
-	A, B  types.NodeID         // Partition / Heal endpoints
-	Fault transport.FaultModel // SetFaults model
+	Node   types.NodeID         // CrashReplica / RecoverReplica / SlowReplica target
+	Color  types.ColorID        // KillLeader / RestartLeader region, NoisyStart flood target
+	A, B   types.NodeID         // Partition / Heal endpoints
+	Fault  transport.FaultModel // SetFaults / SlowReplica model
+	Tenant types.TenantID       // NoisyStart aggressor identity
 }
 
 func (e Event) String() string {
@@ -101,6 +127,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("%7s %s color=%d", at, e.Kind, e.Color)
 	case EvPartition, EvHeal:
 		return fmt.Sprintf("%7s %s %d<->%d", at, e.Kind, e.A, e.B)
+	case EvSlowReplica:
+		return fmt.Sprintf("%7s %s node=%d %s", at, e.Kind, e.Node, e.Fault)
+	case EvSlowHeal:
+		return fmt.Sprintf("%7s %s node=%d", at, e.Kind, e.Node)
+	case EvNoisyStart:
+		return fmt.Sprintf("%7s %s color=%d tenant=%d", at, e.Kind, e.Color, e.Tenant)
 	}
 	return fmt.Sprintf("%7s %s", at, e.Kind)
 }
@@ -131,6 +163,10 @@ type GenConfig struct {
 	Replicas []types.NodeID
 	// Colors are the regions whose sequencer leaders may be killed.
 	Colors []types.ColorID
+	// Aggressor is the tenant identity the noisy-neighbor flood appends
+	// under. Leave 0 (the default tenant) for an uncapped flood; give a
+	// rate-limited tenant to soak admission control under chaos.
+	Aggressor types.TenantID
 }
 
 // Generate derives a schedule from the seed. Same seed and config in,
@@ -179,6 +215,32 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 		Event{At: frac(0.52), Kind: EvSetFaults, Fault: w2},
 		Event{At: frac(0.92), Kind: EvClearFaults},
 	)
+
+	// Multi-tenant QoS nemeses (DESIGN.md §13): one slow-replica window —
+	// a single node's links get millisecond-scale jitter, the tail that
+	// hedged reads cut — and one noisy-neighbor window — an aggressor
+	// flood admission control and the weighted-fair lanes must contain.
+	// Both overlap the lossy windows and the structural slots: neither is
+	// structural (no quorum member disappears), and node-scoped models
+	// take precedence over the fabric-wide default, so the slow node
+	// stays slow through a lossy window.
+	if len(cfg.Replicas) > 0 {
+		node := cfg.Replicas[rng.Intn(len(cfg.Replicas))]
+		slow := transport.FaultModel{
+			JitterMax: time.Duration(2+rng.Intn(4)) * time.Millisecond,
+		}
+		evs = append(evs,
+			Event{At: frac(0.12), Kind: EvSlowReplica, Node: node, Fault: slow},
+			Event{At: frac(0.38), Kind: EvSlowHeal, Node: node},
+		)
+	}
+	if len(cfg.Colors) > 0 {
+		color := cfg.Colors[rng.Intn(len(cfg.Colors))]
+		evs = append(evs,
+			Event{At: frac(0.55), Kind: EvNoisyStart, Color: color, Tenant: cfg.Aggressor},
+			Event{At: frac(0.82), Kind: EvNoisyStop},
+		)
+	}
 
 	// Serialized structural slots. Replica crashes cycle through flavors:
 	// the first crash slot lands mid-spill (inside a PM→cold eviction),

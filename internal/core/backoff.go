@@ -58,3 +58,14 @@ func (b *backoff) next() time.Duration {
 	}
 	return wait
 }
+
+// nextAfter is next with a server retry-after hint folded in: the wait is
+// max(hint, jittered backoff). The envelope still widens — a hint defers
+// the retry, it does not reset the client's own pacing.
+func (b *backoff) nextAfter(hint time.Duration) time.Duration {
+	wait := b.next()
+	if hint > wait {
+		return hint
+	}
+	return wait
+}

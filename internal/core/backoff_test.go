@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -52,5 +53,76 @@ func TestBackoffDefaultsBase(t *testing.T) {
 	bo := newBackoff(0, 1)
 	if bo.base != 50*time.Millisecond {
 		t.Fatalf("zero base not defaulted: %s", bo.base)
+	}
+}
+
+// TestBackoffRetryAfter pins the server-hint contract: nextAfter waits
+// max(hint, jittered backoff) — a large hint defers the retry past the
+// jitter envelope, a small hint leaves the client's own pacing in
+// charge — and either way the envelope keeps widening (a hint defers an
+// attempt, it does not reset pacing).
+func TestBackoffRetryAfter(t *testing.T) {
+	base := time.Millisecond
+
+	// A hint above the cap always wins, on every attempt.
+	bo := newBackoff(base, 3)
+	huge := 10 * backoffCapFactor * base
+	for i := 0; i < 10; i++ {
+		if wait := bo.nextAfter(huge); wait != huge {
+			t.Fatalf("attempt %d: wait %s, want the %s hint verbatim", i, wait, huge)
+		}
+	}
+	if max := backoffCapFactor * base; bo.env != max {
+		t.Fatalf("hinted waits froze the envelope at %s, want %s", bo.env, max)
+	}
+
+	// A zero hint reproduces the plain jittered sequence exactly.
+	a, b := newBackoff(base, 11), newBackoff(base, 11)
+	for i := 0; i < 20; i++ {
+		if wa, wb := a.next(), b.nextAfter(0); wa != wb {
+			t.Fatalf("attempt %d: zero hint diverged from next(): %s vs %s", i, wa, wb)
+		}
+	}
+
+	// The general shape: never below the hint, never below the jitter
+	// floor, never above max(hint, envelope).
+	bo = newBackoff(base, 5)
+	env := base
+	hint := base / 4 // below the floor: backoff pacing stays in charge
+	for i := 0; i < 20; i++ {
+		wait := bo.nextAfter(hint)
+		if wait < hint || wait < base/2 {
+			t.Fatalf("attempt %d: wait %s below floor/hint", i, wait)
+		}
+		upper := env
+		if hint > upper {
+			upper = hint
+		}
+		if wait > upper {
+			t.Fatalf("attempt %d: wait %s above max(hint, envelope %s)", i, wait, env)
+		}
+		if env < backoffCapFactor*base {
+			env *= 2
+			if env > backoffCapFactor*base {
+				env = backoffCapFactor * base
+			}
+		}
+	}
+}
+
+// TestBackoffRetryAfterHintExtraction pins how retry loops recover the
+// hint from an error chain: RetryAfterError carries it through wrapping,
+// and the sentinel cause stays matchable with errors.Is.
+func TestBackoffRetryAfterHintExtraction(t *testing.T) {
+	inner := &RetryAfterError{Err: ErrThrottled, After: 7 * time.Millisecond}
+	wrapped := opError("append", 1, 0, inner)
+	if got := retryAfterHint(wrapped); got != 7*time.Millisecond {
+		t.Fatalf("hint through OpError = %s, want 7ms", got)
+	}
+	if !errors.Is(wrapped, ErrThrottled) {
+		t.Fatal("wrapped RetryAfterError lost the ErrThrottled sentinel")
+	}
+	if got := retryAfterHint(errors.New("plain")); got != 0 {
+		t.Fatalf("hint on a plain error = %s, want 0", got)
 	}
 }

@@ -334,7 +334,7 @@ func (b *shardBatcher) flush(items []*pendingAppend, recs, bytes int) {
 	for i, it := range items {
 		sets[i] = it.records
 	}
-	req := proto.AppendBatchReq{Color: b.color, Token: token, Sets: sets, Client: c.cfg.ID}
+	req := proto.AppendBatchReq{Color: b.color, Token: token, Sets: sets, Client: c.cfg.ID, Tenant: c.cfg.Tenant}
 	c.ep.Broadcast(b.shard.Replicas, req)
 	go b.await(token, w, req, items, recs)
 }
@@ -356,8 +356,15 @@ func (b *shardBatcher) await(token types.Token, w *appendWait, req proto.AppendB
 		case <-w.done:
 			b.complete(items, recs, w.sn)
 			return
-		case <-time.After(bo.next()):
+		case <-time.After(bo.nextAfter(c.takeAppendHint(w))):
 			if time.Now().After(deadline) {
+				c.mu.Lock()
+				rej := w.rej
+				c.mu.Unlock()
+				if rej != nil {
+					b.fail(items, fmt.Errorf("%w: batched append %v to %v", rej, token, b.color))
+					return
+				}
 				b.fail(items, fmt.Errorf("%w: batched append %v to %v", ErrTimeout, token, b.color))
 				return
 			}

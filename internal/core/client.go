@@ -57,6 +57,16 @@ var (
 	// replicas' checkpoint recovery floor — trimmed and truncated from
 	// the recoverable log. Terminal; retrying cannot succeed.
 	ErrCheckpointTruncated = errors.New("flexlog: record below checkpoint recovery floor")
+	// ErrOverloaded is QoS backpressure: a replica's service lane shed the
+	// request from a full per-tenant queue. Transient — the client retries
+	// internally, honoring the server's retry-after hint; it surfaces only
+	// when the overload outlasts the operation's deadline.
+	ErrOverloaded = errors.New("flexlog: server overloaded")
+	// ErrThrottled is admission control: the tenant exceeded its configured
+	// append rate and the replica rejected the request before processing
+	// it. Like ErrOverloaded it is retried internally with the server's
+	// retry-after hint and surfaces only past the deadline.
+	ErrThrottled = errors.New("flexlog: tenant rate limit exceeded")
 )
 
 // ClientConfig parameterizes a client handle.
@@ -74,6 +84,13 @@ type ClientConfig struct {
 	// Batch configures client-side append batching & pipelining; the zero
 	// value disables it (see WithBatching).
 	Batch BatchConfig
+	// Tenant is the identity carried in this client's append and read
+	// requests; replicas map it onto QoS weight, rate and accounting.
+	// The zero value is the default tenant (never throttled).
+	Tenant types.TenantID
+	// Hedge configures read hedging; the zero value disables it (see
+	// WithHedging).
+	Hedge HedgeConfig
 }
 
 // Client is a FlexLog handle used by one serverless function. It is safe
@@ -89,6 +106,11 @@ type Client struct {
 
 	met      *ClientMetrics
 	closedCh chan struct{} // closed by Close; unblocks batchers and waiters
+
+	// Read hedging state (see hedge.go).
+	readLat    latencyTracker
+	hedges     atomic.Uint64 // read rounds that sent backup requests
+	readRounds atomic.Uint64 // all read rounds (the hedge budget's base)
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -124,18 +146,24 @@ type ColorAdder interface {
 type appendWait struct {
 	needed map[types.NodeID]bool
 	sn     types.SN
+	rej    error         // last QoS rejection cause (ErrThrottled/ErrOverloaded)
+	hint   time.Duration // server retry-after hint; consumed by the retry loop
 	done   chan struct{}
 	closed bool
 }
 
 type readWait struct {
-	waiting int                   // shards that have not answered
-	seen    map[types.NodeID]bool // responders counted (dup-delivery safe)
-	data    []byte
-	found   bool
-	status  uint8 // highest proto.ReadStatus* across ⊥ responses
-	done    chan struct{}
-	closed  bool
+	waiting  int                   // shards that have not answered
+	seen     map[types.NodeID]bool // responders counted (dup-delivery safe)
+	shardOf  map[types.NodeID]int  // replica → shard slot (primaries + hedges)
+	answered []bool                // per-shard: first response landed
+	data     []byte
+	found    bool
+	status   uint8         // highest proto.ReadStatus* across ⊥ responses
+	rej      error         // QoS rejection cause, if any replica shed the read
+	hint     time.Duration // server retry-after hint
+	done     chan struct{}
+	closed   bool
 }
 
 type subWait struct {
@@ -287,10 +315,15 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 		w := c.reads[m.ID]
 		// Count each responder once: a duplicated response must not
 		// double-decrement waiting, or an all-⊥ round could complete with
-		// a shard still unanswered and report a spurious ⊥.
+		// a shard still unanswered and report a spurious ⊥. Accounting is
+		// per shard, not per replica: with hedging two replicas of one
+		// shard may both answer, and only the first counts.
 		if w != nil && !w.closed && !w.seen[from] {
 			w.seen[from] = true
-			w.waiting--
+			if si, ok := w.shardOf[from]; ok && !w.answered[si] {
+				w.answered[si] = true
+				w.waiting--
+			}
 			if m.Found {
 				w.data, w.found = m.Data, true
 			} else if m.Status > w.status {
@@ -300,6 +333,36 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 			}
 			// First hit wins; all-⊥ completes when every shard answered.
 			if w.found || w.waiting <= 0 {
+				w.closed = true
+				close(w.done)
+			}
+		}
+		c.mu.Unlock()
+	case proto.Reject:
+		// Typed QoS backpressure: a replica refused the request — admission
+		// control (throttled, with a refill-derived retry-after) or a full
+		// lane queue (overloaded). The waiter records the cause and hint;
+		// the retry loops wait max(hint, backoff) before re-driving and
+		// surface the cause if the deadline passes first.
+		cause := ErrOverloaded
+		if m.Code == proto.RejectThrottled {
+			cause = ErrThrottled
+		}
+		c.mu.Lock()
+		if !m.IsRead {
+			if w := c.appends[m.Token]; w != nil && !w.closed {
+				w.rej, w.hint = cause, m.RetryAfter()
+			}
+		} else if w := c.reads[m.ID]; w != nil && !w.closed && !w.seen[from] {
+			// A shed read counts as the shard's (non-authoritative) answer:
+			// the round completes without it and the caller retries.
+			w.seen[from] = true
+			w.rej, w.hint = cause, m.RetryAfter()
+			if si, ok := w.shardOf[from]; ok && !w.answered[si] {
+				w.answered[si] = true
+				w.waiting--
+			}
+			if w.waiting <= 0 {
 				w.closed = true
 				close(w.done)
 			}
@@ -440,7 +503,7 @@ func (c *Client) appendToShard(ctx context.Context, records [][]byte, color type
 		c.mu.Unlock()
 	}()
 
-	req := proto.AppendReq{Color: color, Token: token, Records: records, Client: c.cfg.ID}
+	req := proto.AppendReq{Color: color, Token: token, Records: records, Client: c.cfg.ID, Tenant: c.cfg.Tenant}
 	deadline := time.Now().Add(c.cfg.Timeout)
 	bo := c.newBackoff()
 	for {
@@ -449,13 +512,47 @@ func (c *Client) appendToShard(ctx context.Context, records [][]byte, color type
 		case <-w.done:
 			return w.sn, token, nil
 		case <-ctx.Done():
+			c.mu.Lock()
+			rej, hint := w.rej, w.hint
+			c.mu.Unlock()
+			if rej != nil {
+				// The caller's deadline passed while the server was
+				// rejecting: overload is never silent, so the error carries
+				// both the context sentinel and the typed QoS cause (plus
+				// the server's hint, for callers driving their own retries).
+				return types.InvalidSN, token, &RetryAfterError{
+					Err:   fmt.Errorf("%w: %w: append %v to %v", ctx.Err(), rej, token, color),
+					After: hint,
+				}
+			}
 			return types.InvalidSN, token, ctx.Err()
-		case <-time.After(bo.next()):
+		case <-time.After(bo.nextAfter(c.takeAppendHint(w))):
 			if time.Now().After(deadline) {
+				c.mu.Lock()
+				rej, hint := w.rej, w.hint
+				c.mu.Unlock()
+				if rej != nil {
+					// The deadline passed while the server was rejecting:
+					// surface the typed QoS cause, not a bare timeout.
+					return types.InvalidSN, token, &RetryAfterError{
+						Err:   fmt.Errorf("%w: append %v to %v", rej, token, color),
+						After: hint,
+					}
+				}
 				return types.InvalidSN, token, fmt.Errorf("%w: append %v to %v", ErrTimeout, token, color)
 			}
 		}
 	}
+}
+
+// takeAppendHint consumes the wait's pending retry-after hint (one-shot:
+// each rejection stretches exactly one retry interval).
+func (c *Client) takeAppendHint(w *appendWait) time.Duration {
+	c.mu.Lock()
+	hint := w.hint
+	w.hint = 0
+	c.mu.Unlock()
+	return hint
 }
 
 // Read returns the record with the given SN from the c-colored log, or
@@ -486,8 +583,12 @@ func (c *Client) ReadCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 	}
 	deadline := time.Now().Add(c.cfg.Timeout)
 	bo := c.newBackoff()
+	var hint time.Duration
 	for {
-		data, err := c.readOnce(ctx, sn, color, shards, bo.next())
+		// The round window doubles as the retry pacing; a server retry-after
+		// hint from the previous round stretches it (max of hint and the
+		// jittered backoff), so a throttled client never hammers.
+		data, err := c.readOnce(ctx, sn, color, shards, bo.nextAfter(hint))
 		if err == nil {
 			return data, nil
 		}
@@ -499,6 +600,7 @@ func (c *Client) ReadCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 			// every retry found the cold tier unavailable).
 			return nil, opError("read", color, sn, fmt.Errorf("%w: read %v of %v: %w", ErrTimeout, sn, color, err))
 		}
+		hint = retryAfterHint(err)
 		// Retry against (probably) different replicas — the paper's §6.3
 		// "forces the FaaS application to re-execute the read".
 	}
@@ -509,7 +611,15 @@ func (c *Client) ReadCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 // ErrTimeout when some shard did not answer within the given window.
 func (c *Client) readOnce(ctx context.Context, sn types.SN, color types.ColorID, shards []topology.ShardInfo, window time.Duration) ([]byte, error) {
 	id := c.reqSeq.Add(1)
-	w := &readWait{waiting: len(shards), seen: make(map[types.NodeID]bool, len(shards)), done: make(chan struct{})}
+	start := time.Now()
+	c.readRounds.Add(1)
+	w := &readWait{
+		waiting:  len(shards),
+		seen:     make(map[types.NodeID]bool, len(shards)),
+		shardOf:  make(map[types.NodeID]int, len(shards)),
+		answered: make([]bool, len(shards)),
+		done:     make(chan struct{}),
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -519,21 +629,46 @@ func (c *Client) readOnce(ctx context.Context, sn types.SN, color types.ColorID,
 	targets := make([]types.NodeID, len(shards))
 	for i, sh := range shards {
 		targets[i] = sh.Replicas[c.rng.Intn(len(sh.Replicas))]
+		w.shardOf[targets[i]] = i
 	}
 	c.mu.Unlock()
 
-	req := proto.ReadReq{ID: id, Color: color, SN: sn, Client: c.cfg.ID}
+	req := proto.ReadReq{ID: id, Color: color, SN: sn, Client: c.cfg.ID, Tenant: c.cfg.Tenant}
 	for _, t := range targets {
 		c.ep.Send(t, req)
 	}
 	var timedOut bool
 	var ctxErr error
-	select {
-	case <-w.done:
-	case <-ctx.Done():
-		ctxErr = ctx.Err()
-	case <-time.After(window):
-		timedOut = true
+	remaining := window
+	// Hedging leg: when the round outlives the straggler threshold (and the
+	// hedge budget allows), clone the request to a backup replica per shard
+	// and keep waiting — first response per shard wins.
+	if hd := c.hedgeDelay(); hd > 0 && hd < window && c.hedgeAllowed() {
+		select {
+		case <-w.done:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+		case <-time.After(hd):
+			c.sendHedges(w, req, shards, targets)
+			remaining = window - hd
+		}
+	}
+	roundOver := ctxErr != nil
+	if !roundOver {
+		select {
+		case <-w.done:
+			roundOver = true
+		default:
+		}
+	}
+	if !roundOver {
+		select {
+		case <-w.done:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+		case <-time.After(remaining):
+			timedOut = true
+		}
 	}
 	c.mu.Lock()
 	if !w.closed {
@@ -542,15 +677,27 @@ func (c *Client) readOnce(ctx context.Context, sn types.SN, color types.ColorID,
 	}
 	delete(c.reads, id)
 	found, data, status := w.found, w.data, w.status
+	rej, hint := w.rej, w.hint
 	c.mu.Unlock()
 	if found {
+		c.readLat.record(time.Since(start))
 		return data, nil
 	}
 	if ctxErr != nil {
+		if rej != nil {
+			// As on the append path: a caller deadline must not mask an
+			// active QoS rejection.
+			return nil, &RetryAfterError{Err: fmt.Errorf("%w: %w: read round", ctxErr, rej), After: hint}
+		}
 		return nil, ctxErr
 	}
 	if timedOut {
 		return nil, fmt.Errorf("%w: read round", ErrTimeout)
+	}
+	if rej != nil {
+		// Some replica shed or throttled the read, so the all-⊥ answer is
+		// not authoritative: retryable, carrying the server's hint.
+		return nil, &RetryAfterError{Err: rej, After: hint}
 	}
 	switch status {
 	case proto.ReadStatusEvicted:

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"flexlog/internal/obs"
+	"flexlog/internal/qos"
 	"flexlog/internal/replica"
 	"flexlog/internal/seq"
 	"flexlog/internal/storage"
@@ -73,6 +74,11 @@ type ClusterConfig struct {
 	// replica.Config); zero keeps the defaults.
 	TraceSlow time.Duration
 	TraceRing int
+	// Tenants declares the deployment's multi-tenant QoS envelopes: per-
+	// tenant weighted-fair lane shares, token-bucket admission rates, and
+	// color ownership for ordering-layer accounting (DESIGN.md §13). Empty
+	// runs without QoS — legacy blocking lanes, no admission control.
+	Tenants []qos.TenantConfig
 }
 
 // TestClusterConfig returns a latency-free configuration with fast failure
@@ -189,6 +195,7 @@ func (cl *Cluster) AddRegion(color, parent types.ColorID) error {
 		scfg.FailureTimeout = cl.cfg.FailureTimeout
 		scfg.RetryTimeout = cl.cfg.RetryTimeout
 		scfg.StartAsLeader = leader
+		scfg.TenantOf = qos.ColorMap(cl.cfg.Tenants)
 		s, err := seq.New(scfg, cl.net)
 		if err != nil {
 			return err
@@ -252,6 +259,7 @@ func (cl *Cluster) AddShardWithReplicas(leaf types.ColorID, replicas int) (types
 		rcfg.Obs = cl.cfg.Obs
 		rcfg.TraceSlow = cl.cfg.TraceSlow
 		rcfg.TraceRing = cl.cfg.TraceRing
+		rcfg.Tenants = cl.cfg.Tenants
 		r, err := replica.New(rcfg, cl.net)
 		if err != nil {
 			return 0, err
@@ -424,6 +432,14 @@ func (cl *Cluster) Stop() {
 	for _, r := range reps {
 		r.Stop()
 	}
+	// Release everything the nodes leave behind: the stores' background
+	// committers/lifecycles and the transport's delivery + lane worker
+	// goroutines. Stores stay readable and stats stay queryable after
+	// Stop; only further writes fail.
+	for _, r := range reps {
+		r.Store().Close()
+	}
+	cl.net.Shutdown()
 }
 
 // Obs returns the registry the cluster publishes into (nil when
@@ -460,7 +476,7 @@ func (cl *Cluster) LaneSnapshots() []obs.LaneSnapshot {
 			out = append(out, obs.LaneSnapshot{
 				Node: node, Lane: "read",
 				Enqueued: ls.Enqueued, Dequeued: ls.Dequeued,
-				MaxDepth: ls.MaxDepth, Busy: ls.Busy,
+				MaxDepth: ls.MaxDepth, Busy: ls.Busy, Shed: ls.Shed,
 			})
 		}
 		if ws, ok := cl.net.WriteLaneStats(id); ok {
@@ -471,7 +487,7 @@ func (cl *Cluster) LaneSnapshots() []obs.LaneSnapshot {
 			out = append(out, obs.LaneSnapshot{
 				Node: node, Lane: "write",
 				Enqueued: ws.Enqueued, Dequeued: ws.Dequeued,
-				MaxDepth: ws.MaxDepth, Busy: ws.Busy, Drops: drops,
+				MaxDepth: ws.MaxDepth, Busy: ws.Busy, Drops: drops, Shed: ws.Shed,
 			})
 		}
 	}

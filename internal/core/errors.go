@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"flexlog/internal/types"
 )
@@ -37,6 +38,32 @@ func (e *OpError) Error() string {
 }
 
 func (e *OpError) Unwrap() error { return e.Err }
+
+// RetryAfterError wraps a QoS rejection (ErrThrottled / ErrOverloaded)
+// with the server's retry-after hint. The client's retry loops honor the
+// hint internally — they wait max(hint, jittered backoff) before the next
+// attempt — and callers that drive their own retries can extract it with
+// errors.As.
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// retryAfterHint extracts the server's retry-after hint from an error
+// chain; 0 when none.
+func retryAfterHint(err error) time.Duration {
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		return ra.After
+	}
+	return 0
+}
 
 // opError wraps err in an *OpError unless it is nil or already one (the
 // innermost operation wins — it knows the most specific context).

@@ -105,6 +105,27 @@ func WithoutBatching() Option {
 	return func(c *ClientConfig) { c.Batch = BatchConfig{} }
 }
 
+// WithTenant sets the tenant identity carried in this client's append and
+// read requests. Replicas map it onto the tenant's QoS envelope — fair-
+// share weight, admission rate, per-tenant accounting. The default is
+// tenant 0, which is never throttled.
+func WithTenant(t types.TenantID) Option {
+	return func(c *ClientConfig) { c.Tenant = t }
+}
+
+// WithHedging enables hedged reads: a read round that outlives the
+// straggler threshold (cfg.Delay, or the observed read P99 when 0) is
+// cloned to a backup replica per shard and the first response wins.
+// cfg.BudgetPercent caps hedged rounds (≤0 means 10%).
+func WithHedging(cfg HedgeConfig) Option {
+	return func(c *ClientConfig) {
+		if cfg.BudgetPercent <= 0 {
+			cfg.BudgetPercent = 10
+		}
+		c.Hedge = cfg
+	}
+}
+
 // autoClientID allocates node ids for Connect-created clients. The band
 // is far above the Cluster allocator's (clientIDBase) so the two never
 // collide on one network.

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"flexlog/internal/proto"
+	"flexlog/internal/qos"
 	"flexlog/internal/topology"
 	"flexlog/internal/transport"
 	"flexlog/internal/types"
@@ -25,6 +26,30 @@ type Manifest struct {
 	Regions []RegionSpec `json:"regions"`
 	// Shards attach replica groups to leaf colors.
 	Shards []ShardSpec `json:"shards"`
+	// Tenants declare the deployment's QoS envelopes (optional; an empty
+	// list runs the cluster without admission control or weighted-fair
+	// lanes, the pre-QoS behavior).
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+}
+
+// TenantSpec is one tenant's QoS declaration.
+type TenantSpec struct {
+	// ID is the tenant identity clients carry via core.WithTenant. Tenant
+	// 0 is the default tenant: it may be declared to give it an explicit
+	// weight, but it can never be rate-limited.
+	ID types.TenantID `json:"id"`
+	// Weight is the tenant's weighted-fair share of replica lane service
+	// (0 means 1).
+	Weight uint32 `json:"weight,omitempty"`
+	// Rate caps admitted append throughput in records/second (0 =
+	// unlimited).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the admission token-bucket depth in records (0 = one
+	// second of Rate).
+	Burst float64 `json:"burst,omitempty"`
+	// Colors lists regions owned by this tenant, used to attribute
+	// ordering-layer accounting (optional).
+	Colors []types.ColorID `json:"colors,omitempty"`
 }
 
 // RegionSpec is one color and its sequencer group.
@@ -113,7 +138,38 @@ func (m *Manifest) Validate() error {
 			}
 		}
 	}
+	tenants := make(map[types.TenantID]bool)
+	for _, t := range m.Tenants {
+		if tenants[t.ID] {
+			return fmt.Errorf("deploy: duplicate tenant %v", t.ID)
+		}
+		tenants[t.ID] = true
+		if t.ID == types.DefaultTenant && t.Rate > 0 {
+			return fmt.Errorf("deploy: the default tenant cannot be rate-limited")
+		}
+		if t.Rate < 0 || t.Burst < 0 {
+			return fmt.Errorf("deploy: tenant %v declares a negative rate or burst", t.ID)
+		}
+		for _, c := range t.Colors {
+			if !colors[c] {
+				return fmt.Errorf("deploy: tenant %v claims undeclared color %v", t.ID, c)
+			}
+		}
+	}
 	return nil
+}
+
+// TenantConfigs materializes the tenant declarations for the replica and
+// cluster constructors (nil when the manifest declares none).
+func (m *Manifest) TenantConfigs() []qos.TenantConfig {
+	if len(m.Tenants) == 0 {
+		return nil
+	}
+	out := make([]qos.TenantConfig, len(m.Tenants))
+	for i, t := range m.Tenants {
+		out[i] = qos.TenantConfig{ID: t.ID, Weight: t.Weight, Rate: t.Rate, Burst: t.Burst, Colors: t.Colors}
+	}
+	return out
 }
 
 // Topology materializes the manifest's layout.
@@ -203,6 +259,10 @@ func Example() *Manifest {
 		},
 		Shards: []ShardSpec{
 			{ID: 1, Leaf: 0, Replicas: []types.NodeID{1, 2, 3}},
+		},
+		Tenants: []TenantSpec{
+			{ID: 1, Weight: 3},
+			{ID: 2, Weight: 1, Rate: 50_000, Burst: 10_000},
 		},
 	}
 }

@@ -25,6 +25,9 @@ type LaneSnapshot struct {
 	// Drops counts messages the owning component dropped on this path
 	// (e.g. a replica's AppendDrops for the write lane).
 	Drops uint64
+	// Shed counts messages rejected by QoS backpressure (full per-tenant
+	// lane queue answered with Reject rather than queued).
+	Shed uint64
 }
 
 // Depth returns the instantaneous queue depth.
@@ -64,15 +67,15 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 	})
 	mux.HandleFunc("/debug/lanes", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "%-8s %-6s %12s %12s %8s %10s %14s %8s\n",
-			"NODE", "LANE", "ENQUEUED", "DEQUEUED", "DEPTH", "MAXDEPTH", "BUSY", "DROPS")
+		fmt.Fprintf(w, "%-8s %-6s %12s %12s %8s %10s %14s %8s %8s\n",
+			"NODE", "LANE", "ENQUEUED", "DEQUEUED", "DEPTH", "MAXDEPTH", "BUSY", "DROPS", "SHED")
 		if cfg.Lanes == nil {
 			return
 		}
 		for _, l := range cfg.Lanes() {
-			fmt.Fprintf(w, "%-8s %-6s %12d %12d %8d %10d %14v %8d\n",
+			fmt.Fprintf(w, "%-8s %-6s %12d %12d %8d %10d %14v %8d %8d\n",
 				l.Node, l.Lane, l.Enqueued, l.Dequeued, l.Depth(), l.MaxDepth,
-				l.Busy.Round(time.Microsecond), l.Drops)
+				l.Busy.Round(time.Microsecond), l.Drops, l.Shed)
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -20,14 +20,14 @@ var goldenFrames = []struct {
 	msg  any
 	hex  string
 }{
-	{"AppendReq", AppendReq{Color: 0x3, Token: 0x700000009, Records: [][]uint8{[]uint8{0x61, 0x62}, []uint8(nil), []uint8{0x63}}, Client: 0x1f4},
-		"1200000001f40303898080807003026162000163f403"},
-	{"AppendBatchReq", AppendBatchReq{Color: 0x1, Token: 0x2, Sets: [][][]uint8{[][]uint8{[]uint8{0x78}}, [][]uint8{[]uint8{0x79, 0x7a}, []uint8{0x77}}}, Client: 0x6},
-		"1000000002f4030102020101780202797a017706"},
+	{"AppendReq", AppendReq{Color: 0x3, Token: 0x700000009, Records: [][]uint8{[]uint8{0x61, 0x62}, []uint8(nil), []uint8{0x63}}, Client: 0x1f4, Tenant: 0x7},
+		"1300000001f40303898080807003026162000163f40307"},
+	{"AppendBatchReq", AppendBatchReq{Color: 0x1, Token: 0x2, Sets: [][][]uint8{[][]uint8{[]uint8{0x78}}, [][]uint8{[]uint8{0x79, 0x7a}, []uint8{0x77}}}, Client: 0x6, Tenant: 0x9},
+		"1100000002f4030102020101780202797a01770609"},
 	{"AppendAck", AppendAck{Token: 0x100000002, SN: 0x100000003},
 		"0d00000003f40382808080108380808010"},
-	{"ReadReq", ReadReq{ID: 0x4d, Color: 0x3, SN: 0x100000009, Client: 0x1f4},
-		"0c00000004f4034d038980808010f403"},
+	{"ReadReq", ReadReq{ID: 0x4d, Color: 0x3, SN: 0x100000009, Client: 0x1f4, Tenant: 0x7},
+		"0d00000004f4034d038980808010f40307"},
 	{"ReadResp", ReadResp{ID: 0x4d, SN: 0x100000009, Data: []uint8{0x64, 0x61, 0x74, 0x61}, Found: true, Status: 0x0},
 		"1000000005f4034d898080801004646174610100"},
 	{"ReadRespMiss", ReadResp{ID: 0x4e, SN: 0x100000009, Data: []uint8(nil), Found: false, Status: 0x1},
@@ -86,6 +86,8 @@ var goldenFrames = []struct {
 		"0f0000001ff403060301008480808010000202"},
 	{"SyncDone", SyncDone{ID: 0x6, From: 0x3},
 		"0500000020f4030603"},
+	{"Reject", Reject{Token: 0xb, ID: 0x4d, Color: 0x3, Tenant: 0x7, Code: RejectThrottled, IsRead: false, RetryAfterMicros: 1500},
+		"0b00000021f4030b4d03070100dc0b"},
 }
 
 // TestCodecGoldenBytes checks encode produces exactly the pinned bytes
@@ -134,7 +136,7 @@ func TestCodecGoldenCoversAllTags(t *testing.T) {
 		}
 		seen[wm.wireTag()] = true
 	}
-	for tag := TagAppendReq; tag <= TagSyncDone; tag++ {
+	for tag := TagAppendReq; tag <= TagReject; tag++ {
 		if !seen[tag] {
 			t.Errorf("no golden frame for tag %d", tag)
 		}

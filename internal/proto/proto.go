@@ -13,6 +13,7 @@ package proto
 
 import (
 	"encoding/gob"
+	"time"
 
 	"flexlog/internal/types"
 )
@@ -20,11 +21,14 @@ import (
 // ---- Client ↔ replica (Alg. 1 client/replica rounds) ----
 
 // AppendReq is the client's round-1 broadcast to all replicas of a shard.
+// Tenant identifies the issuing tenant for QoS accounting and admission
+// control (0 = default tenant, never throttled).
 type AppendReq struct {
 	Color   types.ColorID
 	Token   types.Token
 	Records [][]byte
 	Client  types.NodeID
+	Tenant  types.TenantID
 }
 
 // AppendAck is a replica's round-4 acknowledgement carrying the SN of the
@@ -46,6 +50,7 @@ type AppendBatchReq struct {
 	Token  types.Token
 	Sets   [][][]byte
 	Client types.NodeID
+	Tenant types.TenantID
 }
 
 // NRecords returns the total record count across all sets.
@@ -63,6 +68,7 @@ type ReadReq struct {
 	Color  types.ColorID
 	SN     types.SN
 	Client types.NodeID
+	Tenant types.TenantID
 }
 
 // ReadStatus qualifies a ⊥ read response (Found=false). The values are
@@ -138,6 +144,42 @@ type TrimAck struct {
 	Color types.ColorID
 	Head  types.SN
 	Tail  types.SN
+}
+
+// ---- QoS rejection (overload backpressure) ----
+
+// Reject reason codes. The distinction matters to the client: a throttled
+// request failed admission control (the tenant exceeded its token-bucket
+// rate) and should back off by at least the retry-after hint; an overloaded
+// request was shed from a full service-lane queue and should retry with
+// normal jittered backoff against (possibly) another replica.
+const (
+	// RejectOverloaded: the replica's bounded lane queue was full and the
+	// request was shed rather than queued.
+	RejectOverloaded uint8 = iota
+	// RejectThrottled: per-tenant admission control rejected the request.
+	RejectThrottled
+)
+
+// Reject is a replica's typed backpressure response: instead of silently
+// growing a queue (or silently dropping), an overloaded or throttling
+// replica answers the request with a Reject the client maps onto
+// ErrOverloaded / ErrThrottled. Token correlates appends (and carries the
+// batch token for AppendBatchReq); ID correlates reads. Exactly one of the
+// two is meaningful, disambiguated by IsRead.
+type Reject struct {
+	Token            types.Token
+	ID               uint64
+	Color            types.ColorID
+	Tenant           types.TenantID
+	Code             uint8 // Reject*
+	IsRead           bool
+	RetryAfterMicros uint64 // server hint; 0 = no hint
+}
+
+// RetryAfter returns the server's backoff hint as a duration.
+func (m Reject) RetryAfter() time.Duration {
+	return time.Duration(m.RetryAfterMicros) * time.Microsecond
 }
 
 // ---- Multi-color append (Alg. 2) ----
@@ -382,4 +424,5 @@ func RegisterGob() {
 	gob.Register(SyncFetch{})
 	gob.Register(SyncEntries{})
 	gob.Register(SyncDone{})
+	gob.Register(Reject{})
 }

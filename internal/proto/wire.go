@@ -82,6 +82,7 @@ const (
 	TagSyncEntries      byte = 30
 	TagSyncCatchup      byte = 31
 	TagSyncDone         byte = 32
+	TagReject           byte = 33
 	// TagGobFallback frames a gob-encoded payload for message types the
 	// binary codec does not know.
 	TagGobFallback byte = 255
@@ -353,6 +354,12 @@ func decodeBody(tag byte, body []byte) (any, error) {
 		return m, nil
 	case TagSyncDone:
 		var m SyncDone
+		if err := m.Decode(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagReject:
+		var m Reject
 		if err := m.Decode(body); err != nil {
 			return nil, err
 		}

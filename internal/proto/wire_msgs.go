@@ -15,6 +15,7 @@ func (m AppendReq) AppendTo(b []byte) []byte {
 	b = appendUvarint(b, uint64(m.Token))
 	b = appendByteSlices(b, m.Records)
 	b = appendUvarint(b, uint64(m.Client))
+	b = appendUvarint(b, uint64(m.Tenant))
 	return b
 }
 
@@ -25,6 +26,7 @@ func (m *AppendReq) Decode(b []byte) error {
 	m.Token = types.Token(r.uvarint())
 	m.Records = readByteSlices(&r, m.Records)
 	m.Client = types.NodeID(r.u32())
+	m.Tenant = types.TenantID(r.u32())
 	return r.done()
 }
 
@@ -39,6 +41,7 @@ func (m AppendBatchReq) AppendTo(b []byte) []byte {
 		b = appendByteSlices(b, set)
 	}
 	b = appendUvarint(b, uint64(m.Client))
+	b = appendUvarint(b, uint64(m.Tenant))
 	return b
 }
 
@@ -49,6 +52,7 @@ func (m *AppendBatchReq) Decode(b []byte) error {
 	m.Token = types.Token(r.uvarint())
 	m.Sets = readByteSliceSets(&r, m.Sets)
 	m.Client = types.NodeID(r.u32())
+	m.Tenant = types.TenantID(r.u32())
 	return r.done()
 }
 
@@ -77,6 +81,7 @@ func (m ReadReq) AppendTo(b []byte) []byte {
 	b = appendUvarint(b, uint64(m.Color))
 	b = appendUvarint(b, uint64(m.SN))
 	b = appendUvarint(b, uint64(m.Client))
+	b = appendUvarint(b, uint64(m.Tenant))
 	return b
 }
 
@@ -87,6 +92,7 @@ func (m *ReadReq) Decode(b []byte) error {
 	m.Color = types.ColorID(r.u32())
 	m.SN = types.SN(r.uvarint())
 	m.Client = types.NodeID(r.u32())
+	m.Tenant = types.TenantID(r.u32())
 	return r.done()
 }
 
@@ -641,6 +647,33 @@ func (m *SyncCatchup) Decode(b []byte) error {
 }
 
 func (m SyncCatchup) wireTag() byte { return TagSyncCatchup }
+
+// AppendTo appends the message body to b. See wire.go.
+func (m Reject) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, uint64(m.Token))
+	b = appendUvarint(b, m.ID)
+	b = appendUvarint(b, uint64(m.Color))
+	b = appendUvarint(b, uint64(m.Tenant))
+	b = append(b, m.Code)
+	b = appendBool(b, m.IsRead)
+	b = appendUvarint(b, m.RetryAfterMicros)
+	return b
+}
+
+// Decode parses a message body.
+func (m *Reject) Decode(b []byte) error {
+	r := wireReader{b: b}
+	m.Token = types.Token(r.uvarint())
+	m.ID = r.uvarint()
+	m.Color = types.ColorID(r.u32())
+	m.Tenant = types.TenantID(r.u32())
+	m.Code = r.u8()
+	m.IsRead = r.bool()
+	m.RetryAfterMicros = r.uvarint()
+	return r.done()
+}
+
+func (m Reject) wireTag() byte { return TagReject }
 
 // AppendTo appends the message body to b. See wire.go.
 func (m SyncDone) AppendTo(b []byte) []byte {

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"flexlog/internal/obs"
@@ -66,6 +67,33 @@ func (r *Replica) initObs() {
 	} {
 		reg.CounterFunc(c.name, c.help, lb, c.fn)
 	}
+	// Per-tenant QoS accounting, one series per declared tenant plus the
+	// default tenant — cardinality stays bounded by the operator's tenant
+	// list even if traffic carries arbitrary tenant ids.
+	ids := []types.TenantID{types.DefaultTenant}
+	for _, t := range r.cfg.Tenants {
+		if !slices.Contains(ids, t.ID) {
+			ids = append(ids, t.ID)
+		}
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		c := r.tenantCounters(id)
+		tlb := obs.Labels{"node": fmt.Sprintf("%d", r.cfg.ID), "tenant": fmt.Sprintf("%d", id)}
+		for _, f := range []struct {
+			name string
+			help string
+			fn   func() uint64
+		}{
+			{"flexlog_replica_tenant_appends_total", "Admitted append requests per tenant.", c.appends.Load},
+			{"flexlog_replica_tenant_records_total", "Records carried by admitted appends per tenant.", c.records.Load},
+			{"flexlog_replica_tenant_reads_total", "Read requests served per tenant.", c.reads.Load},
+			{"flexlog_replica_tenant_throttled_total", "Appends rejected by token-bucket admission per tenant.", c.throttled.Load},
+			{"flexlog_replica_tenant_shed_total", "Requests shed from full QoS lane queues per tenant.", c.shed.Load},
+		} {
+			reg.CounterFunc(f.name, f.help, tlb, f.fn)
+		}
+	}
 	reg.GaugeFunc("flexlog_replica_held_reads",
 		"Reads currently parked awaiting their SN.", lb,
 		func() float64 { return float64(r.held.size()) })
@@ -108,6 +136,7 @@ func (r *Replica) LaneSnapshots() []obs.LaneSnapshot {
 			Node: node, Lane: "read",
 			Enqueued: ls.Enqueued, Dequeued: ls.Dequeued,
 			MaxDepth: ls.MaxDepth, Busy: ls.Busy,
+			Shed: ls.Shed,
 		})
 	}
 	if r.wlaneStats != nil {
@@ -117,6 +146,7 @@ func (r *Replica) LaneSnapshots() []obs.LaneSnapshot {
 			Enqueued: ws.Enqueued, Dequeued: ws.Dequeued,
 			MaxDepth: ws.MaxDepth, Busy: ws.Busy,
 			Drops: r.stats.appendDrops.Load(),
+			Shed:  ws.Shed,
 		})
 	}
 	return out

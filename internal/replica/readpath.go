@@ -47,7 +47,7 @@ func (r *Replica) laneConfig() transport.LaneConfig {
 	if r.cfg.ReadWorkers <= 0 {
 		return transport.LaneConfig{}
 	}
-	cfg := transport.LaneConfig{Workers: r.cfg.ReadWorkers, Classify: readClass}
+	cfg := transport.LaneConfig{Workers: r.cfg.ReadWorkers, Classify: readClass, QoS: r.laneQoS()}
 	if r.readTr != nil {
 		cfg.Observe = func(queueWait, _ time.Duration) {
 			r.readTr.ObserveStage("lane_wait", queueWait)
@@ -229,6 +229,7 @@ func (r *Replica) frontier(color types.ColorID) types.SN {
 // (internally synchronized), the atomic watermarks, and the held registry.
 func (r *Replica) onRead(from types.NodeID, m proto.ReadReq) {
 	r.stats.reads.Add(1)
+	r.tenantCounters(m.Tenant).reads.Add(1)
 	if r.readTr.Enabled() {
 		start := time.Now()
 		defer func() {

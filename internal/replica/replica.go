@@ -29,6 +29,7 @@ import (
 
 	"flexlog/internal/obs"
 	"flexlog/internal/proto"
+	"flexlog/internal/qos"
 	"flexlog/internal/storage"
 	"flexlog/internal/topology"
 	"flexlog/internal/transport"
@@ -95,6 +96,12 @@ type Config struct {
 	// StoreFactory overrides how the storage stack is built (e.g. to
 	// re-attach to restored device snapshots); nil uses storage.New(Store).
 	StoreFactory func(storage.Config) (*storage.Store, error)
+	// Tenants declares the multi-tenant QoS envelope (DESIGN.md §13):
+	// per-tenant weighted-fair scheduling on both service lanes,
+	// token-bucket admission control at the append ingress, and typed
+	// Reject responses when a lane queue sheds. Empty = QoS off (legacy
+	// blocking lanes, no admission control).
+	Tenants []qos.TenantConfig
 
 	// Obs, when set, publishes the replica's counters into the registry and
 	// enables append/read stage tracing (see obs.go). The storage stack
@@ -235,6 +242,8 @@ type Replica struct {
 	held    heldRegistry // parked reads keyed by (color, SN)
 	stats   counters
 	coal    *orderCoalescer // per-color order-request batching (nil = direct)
+	admit   *qos.Admission  // per-tenant append admission (nil = unlimited)
+	tenants tenantRegistry  // per-tenant QoS counters
 
 	// Tracers for the two service paths (nil when Config.Obs is unset;
 	// every method is nil-safe). See obs.go.
@@ -332,6 +341,7 @@ func newReplica(cfg Config, st *storage.Store) *Replica {
 		stopCh:   make(chan struct{}),
 	}
 	r.mode.store(ModeOperational)
+	r.admit = qos.NewAdmission(cfg.Tenants)
 	r.initObs()
 	if cfg.OrderCoalesce {
 		r.coal = newOrderCoalescer(r)
@@ -484,6 +494,10 @@ func (r *Replica) handle(from types.NodeID, msg transport.Message) {
 // ---- Append protocol (Alg. 1, replica role) ----
 
 func (r *Replica) onAppend(from types.NodeID, m proto.AppendReq) {
+	if !r.admitAppend(from, m.Tenant, m.Token, m.Color, m.Client, len(m.Records)) {
+		return
+	}
+	r.tenantCounters(m.Tenant).appendObserved(uint64(len(m.Records)))
 	r.doAppend(from, m.Color, m.Token, m.Records, m.Client)
 }
 
@@ -499,6 +513,10 @@ func (r *Replica) onAppendBatch(from types.NodeID, m proto.AppendBatchReq) {
 	if len(records) == 0 {
 		return
 	}
+	if !r.admitAppend(from, m.Tenant, m.Token, m.Color, m.Client, len(records)) {
+		return
+	}
+	r.tenantCounters(m.Tenant).appendObserved(uint64(len(records)))
 	r.stats.batchAppends.Add(1)
 	r.stats.batchRecords.Add(uint64(len(records)))
 	r.doAppend(from, m.Color, m.Token, records, m.Client)

@@ -53,7 +53,7 @@ func writeClass(msg transport.Message) (uint64, bool) {
 func (r *Replica) lanes() transport.Lanes {
 	l := transport.Lanes{Read: r.laneConfig()}
 	if r.cfg.WriteWorkers > 0 {
-		l.Write = transport.WriteLaneConfig{Workers: r.cfg.WriteWorkers, Key: writeClass}
+		l.Write = transport.WriteLaneConfig{Workers: r.cfg.WriteWorkers, Key: writeClass, QoS: r.laneQoS()}
 		if r.appendTr != nil {
 			l.Write.Observe = func(queueWait, _ time.Duration) {
 				r.appendTr.ObserveStage("lane_wait", queueWait)

@@ -2,8 +2,10 @@ package seq
 
 import (
 	"fmt"
+	"slices"
 
 	"flexlog/internal/obs"
+	"flexlog/internal/types"
 )
 
 // PublishObs registers the sequencer's counters and role with the
@@ -41,6 +43,25 @@ func (s *Sequencer) PublishObs(reg *obs.Registry) {
 			defer s.mu.Unlock()
 			return float64(s.epoch)
 		})
+	// Per-tenant ordering accounting, one series per declared tenant plus
+	// the default tenant (unclaimed colors) — cardinality is bounded by
+	// the operator's tenant list, never by traffic.
+	if len(s.cfg.TenantOf) > 0 {
+		tenants := []types.TenantID{types.DefaultTenant}
+		for _, t := range s.cfg.TenantOf {
+			if !slices.Contains(tenants, t) {
+				tenants = append(tenants, t)
+			}
+		}
+		slices.Sort(tenants)
+		for _, t := range tenants {
+			id := t
+			tlb := obs.Labels{"node": fmt.Sprintf("%d", s.cfg.ID), "tenant": fmt.Sprintf("%d", id)}
+			reg.CounterFunc("flexlog_seq_tenant_ordered_total",
+				"Records ordered per tenant, attributed at the entry sequencer by the color→tenant map.",
+				tlb, func() uint64 { return s.TenantOrdered()[id] })
+		}
+	}
 	reg.GaugeFunc("flexlog_seq_leader",
 		"1 when this node is its group's serving leader, else 0.", lb,
 		func() float64 {

@@ -80,6 +80,10 @@ type Config struct {
 	// epoch ever used, or the new leader would re-issue old SNs —
 	// cmd/flexlog-server persists the epoch and passes lastEpoch+1 here.
 	InitialEpoch types.Epoch
+	// TenantOf attributes ordering work to tenants by the color an order
+	// request names (qos.ColorMap of the deployment's tenant declarations).
+	// Nil disables per-tenant sequencer accounting.
+	TenantOf map[types.ColorID]types.TenantID
 }
 
 // DefaultConfig fills the timing knobs with test-friendly values.
@@ -176,6 +180,10 @@ type Sequencer struct {
 	claimStart     time.Time
 
 	stats Stats
+	// tenantOrdered counts records ordered per tenant, attributed at the
+	// entry sequencer (direct requests only, so tree aggregation does not
+	// double-count). Nil unless Config.TenantOf is set.
+	tenantOrdered map[types.TenantID]uint64
 
 	stopCh  chan struct{}
 	stopped sync.WaitGroup
@@ -232,6 +240,9 @@ func newSequencer(cfg Config) *Sequencer {
 		stopCh:   make(chan struct{}),
 		kick:     make(chan struct{}, 1),
 	}
+	if len(cfg.TenantOf) > 0 {
+		s.tenantOrdered = make(map[types.TenantID]uint64)
+	}
 	epoch := types.Epoch(1)
 	if cfg.InitialEpoch > 0 {
 		epoch = cfg.InitialEpoch
@@ -286,6 +297,34 @@ func (s *Sequencer) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// noteTenantLocked attributes n ordered records to the tenant owning
+// color. Caller holds s.mu.
+func (s *Sequencer) noteTenantLocked(color types.ColorID, n uint64) {
+	if s.tenantOrdered == nil {
+		return
+	}
+	t, ok := s.cfg.TenantOf[color]
+	if !ok {
+		t = types.DefaultTenant
+	}
+	s.tenantOrdered[t] += n
+}
+
+// TenantOrdered snapshots the per-tenant ordered-record counters (nil
+// when per-tenant accounting is off).
+func (s *Sequencer) TenantOrdered() map[types.TenantID]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tenantOrdered == nil {
+		return nil
+	}
+	out := make(map[types.TenantID]uint64, len(s.tenantOrdered))
+	for k, v := range s.tenantOrdered {
+		out[k] = v
+	}
+	return out
 }
 
 // Stop terminates the node's background loops (graceful shutdown).
@@ -353,6 +392,7 @@ func (s *Sequencer) onOrderReq(req proto.OrderReq) {
 		return
 	}
 	s.stats.DirectReqs++
+	s.noteTenantLocked(req.Color, uint64(req.NRecords))
 	if st, ok := s.tokens[req.Token]; ok {
 		s.stats.DupTokens++
 		if st.assigned {
@@ -407,6 +447,9 @@ func (s *Sequencer) onOrderReqBatch(from types.NodeID, m proto.OrderReqBatch) {
 	}
 	s.stats.ReqBatches++
 	s.stats.DirectReqs += uint64(len(m.Items))
+	for _, it := range m.Items {
+		s.noteTenantLocked(m.Color, uint64(it.NRecords))
+	}
 	owner := m.Color == s.cfg.Region
 	var fresh []proto.OrderRespItem // owner-path assignments → broadcast
 	var dups []proto.OrderRespItem  // already-assigned retries → sender only

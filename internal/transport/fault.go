@@ -140,6 +140,15 @@ type faultState struct {
 	links map[[2]types.NodeID]*linkFaults // directed [from, to]
 	def   *FaultModel                     // applies to links without an explicit model
 
+	// nodes holds node-scoped models (the "slow replica" nemesis): a
+	// model here covers every link touching the node, in both directions,
+	// and takes precedence over per-link and default models — a degraded
+	// NIC dominates whatever the fabric is doing. nodeLinks caches the
+	// lazily materialized per-link state so each directed link keeps its
+	// own deterministic rng stream.
+	nodes     map[types.NodeID]*FaultModel
+	nodeLinks map[[2]types.NodeID]*linkFaults
+
 	drops    atomic.Uint64
 	dups     atomic.Uint64
 	reorders atomic.Uint64
@@ -159,6 +168,54 @@ func (n *Network) SetFaultSeed(seed int64) {
 		lf.rng = rand.New(rand.NewSource(linkSeed(seed, key[0], key[1])))
 		lf.mu.Unlock()
 	}
+	for key, lf := range f.nodeLinks {
+		lf.mu.Lock()
+		lf.rng = rand.New(rand.NewSource(linkSeed(seed, key[0], key[1])))
+		lf.mu.Unlock()
+	}
+}
+
+// SetNodeFaults installs a fault model on every link touching node, in
+// both directions, current and future — the "slow replica" nemesis: one
+// node's NIC degrades (typically heavy JitterMax) while the rest of the
+// fabric stays clean. The node-scoped model takes precedence over
+// per-link and default models while installed. A zero model removes the
+// node's treatment; links then revert to whatever per-link or default
+// model applies.
+func (n *Network) SetNodeFaults(node types.NodeID, m FaultModel) {
+	f := &n.faults
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m.Zero() {
+		delete(f.nodes, node)
+		for key := range f.nodeLinks {
+			if key[0] == node || key[1] == node {
+				delete(f.nodeLinks, key)
+			}
+		}
+	} else {
+		if f.nodes == nil {
+			f.nodes = make(map[types.NodeID]*FaultModel)
+		}
+		mm := m
+		f.nodes[node] = &mm
+		for key, lf := range f.nodeLinks {
+			if key[0] == node || key[1] == node {
+				lf.setModel(m)
+			}
+		}
+	}
+	n.updateFaultsActiveLocked()
+}
+
+// nodeModelLocked resolves the node-scoped model covering a directed
+// link, or nil. The destination's model wins when both ends are
+// degraded. Caller holds faults.mu.
+func (f *faultState) nodeModelLocked(from, to types.NodeID) *FaultModel {
+	if m := f.nodes[to]; m != nil {
+		return m
+	}
+	return f.nodes[from]
 }
 
 // SetLinkFaults installs a fault model on the directed link from→to.
@@ -211,6 +268,8 @@ func (n *Network) ClearFaults() {
 	defer f.mu.Unlock()
 	f.links = make(map[[2]types.NodeID]*linkFaults)
 	f.def = nil
+	f.nodes = nil
+	f.nodeLinks = nil
 	n.updateFaultsActiveLocked()
 }
 
@@ -228,7 +287,8 @@ func (n *Network) FaultStats() FaultStats {
 // updateFaultsActiveLocked refreshes the fast-path flag. Caller holds
 // faults.mu.
 func (n *Network) updateFaultsActiveLocked() {
-	n.faultsOn.Store(len(n.faults.links) > 0 || n.faults.def != nil)
+	n.faultsOn.Store(len(n.faults.links) > 0 || n.faults.def != nil ||
+		len(n.faults.nodes) > 0)
 }
 
 // linkLocked returns (creating if needed) the directed link's fault
@@ -266,6 +326,22 @@ func (n *Network) faultsFor(from, to types.NodeID) *linkFaults {
 	f := &n.faults
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if m := f.nodeModelLocked(from, to); m != nil {
+		key := [2]types.NodeID{from, to}
+		lf := f.nodeLinks[key]
+		if lf == nil {
+			seed := f.seed
+			if seed == 0 {
+				seed = 1
+			}
+			lf = &linkFaults{model: *m, rng: rand.New(rand.NewSource(linkSeed(seed, from, to)))}
+			if f.nodeLinks == nil {
+				f.nodeLinks = make(map[[2]types.NodeID]*linkFaults)
+			}
+			f.nodeLinks[key] = lf
+		}
+		return lf
+	}
 	if lf, ok := f.links[[2]types.NodeID{from, to}]; ok {
 		return lf
 	}

@@ -140,6 +140,25 @@ func (n *Network) Deregister(id types.NodeID) {
 	}
 }
 
+// Shutdown closes every registered endpoint: delivery loops exit and
+// their lane worker pools drain. Cluster teardown calls this after
+// stopping the nodes — without it every stopped cluster would strand
+// its delivery and lane goroutines, which is a real leak for processes
+// that create clusters in sequence (benchmarks, chaos soaks, tests).
+// Endpoints stay in the registry so per-node delivery counters remain
+// readable after shutdown; restarting nodes mid-run uses Deregister.
+func (n *Network) Shutdown() {
+	n.mu.Lock()
+	eps := make([]*inprocEndpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
 // Partition cuts the (symmetric) link between a and b.
 func (n *Network) Partition(a, b types.NodeID) {
 	n.mu.Lock()

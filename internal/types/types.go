@@ -80,6 +80,18 @@ func (r Record) Clone() Record {
 	return out
 }
 
+// TenantID names a tenant — the unit of QoS accounting, admission control,
+// and weighted-fair scheduling (§5.1 sketches multi-tenancy as
+// colors-per-application; tenants own disjoint color sets). Tenant 0 is the
+// default tenant: untenanted traffic, never throttled by admission control
+// but still scheduled fairly.
+type TenantID uint32
+
+// DefaultTenant is the identity of untenanted traffic.
+const DefaultTenant TenantID = 0
+
+func (t TenantID) String() string { return fmt.Sprintf("tenant#%d", t) }
+
 // NodeID identifies a process in the deployment (replica, sequencer, or
 // client). IDs are unique across the whole topology.
 type NodeID uint32
