@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke tiering-smoke codec-smoke qos-smoke
+.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke tiering-smoke codec-smoke qos-smoke seq-smoke
 
-verify: build test vet race chaos-smoke bench-write-smoke obs-smoke tiering-smoke codec-smoke qos-smoke docs-check
+verify: build test vet race chaos-smoke bench-write-smoke obs-smoke tiering-smoke codec-smoke qos-smoke seq-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,15 @@ codec-smoke:
 qos-smoke:
 	$(GO) test -race -count=1 -run 'TestLaneBackpressure|TestLaneTenantFIFO|TestBackoffRetryAfter' ./internal/transport/ ./internal/core/
 	timeout 120 $(GO) test -count=1 -run 'TestAblateQoSShape' ./internal/bench/
+
+# Lock-free sequencer smoke (DESIGN.md §14): the -race ordering stress
+# tests (concurrent colors with duplicate retries; epoch bumps forced into
+# a request flood) plus the quick ablate-seq curve (order lanes must hold
+# >= 3x modeled ordering throughput at 64 concurrent colors with the
+# single-driver round-trip inside 10%).
+seq-smoke:
+	$(GO) test -race -count=1 -run 'TestConcurrentOrderingStress|TestEpochBumpDuringFlood' ./internal/seq/
+	timeout 120 $(GO) test -count=1 -run 'TestAblateSeqShape' ./internal/bench/
 
 # Godoc coverage gate: every exported symbol in internal/obs must carry a
 # doc comment (OPERATIONS.md's coverage test guards the metric names; this

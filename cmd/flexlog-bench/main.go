@@ -4,12 +4,13 @@
 // Usage:
 //
 //	flexlog-bench -list
-//	flexlog-bench [-quick] [-chaos] [-duration 2s] [-codec binary] [-cpuprofile f] [-memprofile f] [-blockprofile f] <experiment-id>... | all
+//	flexlog-bench [-quick] [-chaos] [-duration 2s] [-codec binary] [-cpuprofile f] [-memprofile f] [-blockprofile f] [-mutexprofile f] <experiment-id>... | all
 //
 // Experiment ids: table1, fig1, fig4lat, fig4thr, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, ablate-batch, ablate-cache, ablate-readhold,
 // ablate-clientbatch, ablate-readpath, ablate-writepath, ablate-tiering,
-// ablate-obs, ablate-codec, ext-burst, chaos (also runnable via -chaos).
+// ablate-obs, ablate-codec, ablate-qos, ablate-seq, ext-burst, chaos (also
+// runnable via -chaos).
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the experiment runs to this file")
 	blockprofile := flag.String("blockprofile", "", "write a blocking profile (lock/channel contention) of the experiment runs to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile (who held locks others waited on) of the experiment runs to this file")
 	metricsDump := flag.String("metrics-dump", "", "wire the obs-aware experiments into a registry and write its Prometheus snapshot to this file on exit (\"-\" for stdout)")
 	codec := flag.String("codec", "", "pin the TCP wire codec (gob|binary) for socket-level experiments like ablate-codec (default: run both)")
 	flag.Parse()
@@ -69,7 +71,7 @@ func main() {
 
 	// run is a separate function so the profiling defers fire before the
 	// process exits with the failure count.
-	failed := run(ids, rcfg, *cpuprofile, *memprofile, *blockprofile)
+	failed := run(ids, rcfg, *cpuprofile, *memprofile, *blockprofile, *mutexprofile)
 	if reg != nil {
 		if err := dumpMetrics(*metricsDump, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-dump: %v\n", err)
@@ -94,7 +96,7 @@ func dumpMetrics(path string, reg *obs.Registry) error {
 	return reg.WritePrometheus(f)
 }
 
-func run(ids []string, cfg bench.RunConfig, cpuprofile, memprofile, blockprofile string) int {
+func run(ids []string, cfg bench.RunConfig, cpuprofile, memprofile, blockprofile, mutexprofile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -122,6 +124,23 @@ func run(ids []string, cfg bench.RunConfig, cpuprofile, memprofile, blockprofile
 			defer f.Close()
 			if err := pprof.Lookup("block").WriteTo(f, 0); err != nil {
 				fmt.Fprintf(os.Stderr, "blockprofile: %v\n", err)
+			}
+		}()
+	}
+	if mutexprofile != "" {
+		// Record every contended mutex: the sequencer hot path claims to be
+		// lock-free, and this profile is the direct before/after evidence —
+		// a contended seq.(*Sequencer) mutex here means the claim regressed.
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(mutexprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprofile: %v\n", err)
 			}
 		}()
 	}

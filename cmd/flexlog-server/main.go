@@ -44,6 +44,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for device snapshots; empty = volatile (replicas only)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/lanes, /debug/pprof on this address (e.g. :8080); empty disables observability")
 	codecName := flag.String("codec", "binary", "outbound wire codec: binary (length-prefixed custom framing) or gob (legacy); inbound frames are auto-detected per connection either way")
+	seqWorkers := flag.Int("seq-workers", 4, "sequencer order-lane workers (per-color FIFO; 0 = serialized delivery loop)")
 	flag.Parse()
 
 	if *example {
@@ -194,6 +195,7 @@ func main() {
 		cfg.RetryTimeout = 2 * time.Second
 		cfg.StartAsLeader = si.Leader == nodeID
 		cfg.TenantOf = qos.ColorMap(m.TenantConfigs())
+		cfg.OrderWorkers = *seqWorkers
 		// Durable epochs: a cold restart must resume ABOVE every epoch the
 		// previous incarnation could have used, or SNs would repeat.
 		var epochPath string

@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8", "fig9", "fig10", "fig11",
 		"ablate-batch", "ablate-cache", "ablate-readhold",
 		"ablate-clientbatch", "ablate-readpath", "ablate-writepath",
-		"ablate-tiering", "ablate-codec", "ablate-qos",
+		"ablate-tiering", "ablate-codec", "ablate-qos", "ablate-seq",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -470,6 +470,57 @@ func TestAblateWritePathShape(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestAblateSeqShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("measurement-based shape test skipped under the race detector")
+	}
+	// Both the throughput model (wall-clock batching windows decide how
+	// order requests coalesce) and the latency gate (two ~100 µs
+	// measurements in separate windows) are noise-sensitive on a loaded
+	// machine; retry once before declaring a regression.
+	var err error
+	for attempt := 1; attempt <= 2; attempt++ {
+		rep := runExperiment(t, "ablate-seq")
+		if err = seqPathShapeGates(rep); err == nil {
+			return
+		}
+		t.Logf("attempt %d: %v", attempt, err)
+	}
+	t.Error(err)
+}
+
+// seqPathShapeGates checks one ablate-seq report against the acceptance
+// bars of the lock-free-sequencer PR.
+func seqPathShapeGates(rep *Report) error {
+	// ISSUE acceptance: >= 3x modeled ordering throughput at 64 concurrent
+	// colors with the full hot path vs the serialized delivery loop.
+	thrSerial, ok1 := rep.Value("serial", "64")
+	thrFull, ok2 := rep.Value("full", "64")
+	if !ok1 || !ok2 || thrSerial <= 0 {
+		return fmt.Errorf("missing 64-color throughput values: serial=%v full=%v", thrSerial, thrFull)
+	}
+	if thrFull < 3*thrSerial {
+		return fmt.Errorf("hot-path gain too small at 64 colors: full=%.0fk serial=%.0fk (<3x)", thrFull, thrSerial)
+	}
+	// The order lane alone must not regress the serialized loop.
+	thrLanes, ok := rep.Value("+lanes", "64")
+	if !ok || thrLanes < thrSerial {
+		return fmt.Errorf("order lanes alone regressed throughput: lanes=%.0fk serial=%.0fk", thrLanes, thrSerial)
+	}
+	// ISSUE acceptance: a lone closed-loop driver's order round-trip must
+	// stay within 10% (plus scheduling slack for loaded CI machines).
+	latSerial, ok1 := rep.Value("1-driver lat serial", "1")
+	latFull, ok2 := rep.Value("1-driver lat full", "1")
+	if !ok1 || !ok2 || latSerial <= 0 {
+		return fmt.Errorf("missing single-driver latency values: serial=%v full=%v", latSerial, latFull)
+	}
+	const slackUsec = 100
+	if latFull > 1.10*latSerial+slackUsec {
+		return fmt.Errorf("single-driver latency regressed: full=%.0fµs serial=%.0fµs (>10%%)", latFull, latSerial)
+	}
+	return nil
 }
 
 func TestReportRendering(t *testing.T) {

@@ -53,6 +53,10 @@ type ClusterConfig struct {
 	// pinned to a worker by color); 0 keeps mutations on the serialized
 	// delivery loop (the ablation baseline).
 	WriteWorkers int
+	// SeqWorkers sizes each sequencer's keyed order lane (order traffic
+	// pinned to a worker by color); 0 keeps ordering on the serialized
+	// delivery loop (the ablation baseline).
+	SeqWorkers int
 	// GroupCommit enables the storage layer's PM group-commit engine:
 	// concurrent persistence waits fold into shared transactions.
 	GroupCommit bool
@@ -102,6 +106,7 @@ func TestClusterConfig() ClusterConfig {
 		ReadHoldTimeout: 5 * time.Millisecond,
 		ReadWorkers:     4,
 		WriteWorkers:    4,
+		SeqWorkers:      4,
 		GroupCommit:     true,
 		ClientTimeout:   10 * time.Second,
 	}
@@ -121,6 +126,7 @@ func BenchClusterConfig() ClusterConfig {
 	cfg.ReadHoldTimeout = time.Millisecond // §6.3: "a timeout of 1 ms is safe"
 	cfg.ReadWorkers = 16                   // the testbed's spare cores per replica
 	cfg.WriteWorkers = 16
+	cfg.SeqWorkers = 16
 	cfg.GroupCommit = true
 	cfg.OrderCoalesce = true
 	cfg.OrderBatchInterval = time.Microsecond // match the sequencer window (§9.1)
@@ -196,6 +202,7 @@ func (cl *Cluster) AddRegion(color, parent types.ColorID) error {
 		scfg.RetryTimeout = cl.cfg.RetryTimeout
 		scfg.StartAsLeader = leader
 		scfg.TenantOf = qos.ColorMap(cl.cfg.Tenants)
+		scfg.OrderWorkers = cl.cfg.SeqWorkers
 		s, err := seq.New(scfg, cl.net)
 		if err != nil {
 			return err
@@ -368,6 +375,8 @@ func (cl *Cluster) RestartSequencer(id types.NodeID) error {
 	scfg.FailureTimeout = cl.cfg.FailureTimeout
 	scfg.RetryTimeout = cl.cfg.RetryTimeout
 	scfg.StartAsLeader = false
+	scfg.TenantOf = qos.ColorMap(cl.cfg.Tenants)
+	scfg.OrderWorkers = cl.cfg.SeqWorkers
 	// Rejoin at the epoch the group has reached so the fresh process does
 	// not grant stale claims from before its crash.
 	scfg.InitialEpoch = old.Epoch()

@@ -58,6 +58,10 @@ var goldenFrames = []struct {
 		"0800000011f4030013068407"},
 	{"AggOrderResp", AggOrderResp{BatchID: 0x13, LastSN: 0x200000002, Color: 0x0},
 		"0a00000012f40313828080802000"},
+	{"AggOrderReqBatch", AggOrderReqBatch{From: 0x384, Items: []AggOrderItem{{Color: 0x1, BatchID: 0x13, Total: 0x6}, {Color: 0x2, BatchID: 0x14, Total: 0x3}}},
+		"0c00000022f403840702011306021403"},
+	{"AggOrderRespBatch", AggOrderRespBatch{From: 0x384, Items: []AggOrderRespItem{{Color: 0x1, BatchID: 0x13, LastSN: 0x200000002}, {Color: 0x2, BatchID: 0x14, LastSN: 0x200000005}}},
+		"1400000023f4038407020113828080802002148580808020"},
 	{"SeqHeartbeat", SeqHeartbeat{Epoch: 0x2, From: 0x384},
 		"0600000013f403028407"},
 	{"SeqHeartbeatAck", SeqHeartbeatAck{Epoch: 0x2, From: 0x385},
@@ -136,7 +140,7 @@ func TestCodecGoldenCoversAllTags(t *testing.T) {
 		}
 		seen[wm.wireTag()] = true
 	}
-	for tag := TagAppendReq; tag <= TagReject; tag++ {
+	for tag := TagAppendReq; tag <= TagAggOrderRespBatch; tag++ {
 		if !seen[tag] {
 			t.Errorf("no golden frame for tag %d", tag)
 		}

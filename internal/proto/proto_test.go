@@ -30,6 +30,8 @@ func everyMessage() []interface{} {
 		OrderRespBatch{Color: 1, Items: []OrderRespItem{{Token: 2, LastSN: 3, NRecords: 4}}},
 		AggOrderReq{Color: 1, BatchID: 2, Total: 3, From: 4},
 		AggOrderResp{BatchID: 2, LastSN: 3, Color: 4},
+		AggOrderReqBatch{From: 4, Items: []AggOrderItem{{Color: 1, BatchID: 2, Total: 3}, {Color: 5, BatchID: 6, Total: 7}}},
+		AggOrderRespBatch{From: 4, Items: []AggOrderRespItem{{Color: 1, BatchID: 2, LastSN: 3}}},
 		SeqHeartbeat{Epoch: 1, From: 2},
 		SeqHeartbeatAck{Epoch: 1, From: 2},
 		EpochClaim{Epoch: 1, From: 2},
@@ -88,7 +90,7 @@ func normalize(v interface{}) interface{} {
 // TestMessageCountMatchesRegistry keeps everyMessage in sync with the
 // RegisterGob list: a new message type must be added to both.
 func TestMessageCountMatchesRegistry(t *testing.T) {
-	const registered = 32 // keep in lockstep with RegisterGob
+	const registered = 34 // keep in lockstep with RegisterGob
 	if got := len(everyMessage()); got != registered {
 		t.Fatalf("everyMessage has %d entries, RegisterGob registers %d — update both together", got, registered)
 	}

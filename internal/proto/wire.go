@@ -50,39 +50,41 @@ const MaxFrame = 1 << 28
 // Wire type tags, one per message (DESIGN.md §12 pins these: changing a
 // value breaks cross-version framing and the golden-bytes test).
 const (
-	TagAppendReq        byte = 1
-	TagAppendBatchReq   byte = 2
-	TagAppendAck        byte = 3
-	TagReadReq          byte = 4
-	TagReadResp         byte = 5
-	TagSubscribeReq     byte = 6
-	TagSubscribeResp    byte = 7
-	TagTrimReq          byte = 8
-	TagTrimPeerAck      byte = 9
-	TagTrimAck          byte = 10
-	TagMultiAppendEnd   byte = 11
-	TagMultiAppendAck   byte = 12
-	TagOrderReq         byte = 13
-	TagOrderResp        byte = 14
-	TagOrderReqBatch    byte = 15
-	TagOrderRespBatch   byte = 16
-	TagAggOrderReq      byte = 17
-	TagAggOrderResp     byte = 18
-	TagSeqHeartbeat     byte = 19
-	TagSeqHeartbeatAck  byte = 20
-	TagEpochClaim       byte = 21
-	TagEpochGrant       byte = 22
-	TagEpochReject      byte = 23
-	TagSeqInit          byte = 24
-	TagSeqInitAck       byte = 25
-	TagReplicaHeartbeat byte = 26
-	TagSyncRequest      byte = 27
-	TagSyncState        byte = 28
-	TagSyncFetch        byte = 29
-	TagSyncEntries      byte = 30
-	TagSyncCatchup      byte = 31
-	TagSyncDone         byte = 32
-	TagReject           byte = 33
+	TagAppendReq         byte = 1
+	TagAppendBatchReq    byte = 2
+	TagAppendAck         byte = 3
+	TagReadReq           byte = 4
+	TagReadResp          byte = 5
+	TagSubscribeReq      byte = 6
+	TagSubscribeResp     byte = 7
+	TagTrimReq           byte = 8
+	TagTrimPeerAck       byte = 9
+	TagTrimAck           byte = 10
+	TagMultiAppendEnd    byte = 11
+	TagMultiAppendAck    byte = 12
+	TagOrderReq          byte = 13
+	TagOrderResp         byte = 14
+	TagOrderReqBatch     byte = 15
+	TagOrderRespBatch    byte = 16
+	TagAggOrderReq       byte = 17
+	TagAggOrderResp      byte = 18
+	TagSeqHeartbeat      byte = 19
+	TagSeqHeartbeatAck   byte = 20
+	TagEpochClaim        byte = 21
+	TagEpochGrant        byte = 22
+	TagEpochReject       byte = 23
+	TagSeqInit           byte = 24
+	TagSeqInitAck        byte = 25
+	TagReplicaHeartbeat  byte = 26
+	TagSyncRequest       byte = 27
+	TagSyncState         byte = 28
+	TagSyncFetch         byte = 29
+	TagSyncEntries       byte = 30
+	TagSyncCatchup       byte = 31
+	TagSyncDone          byte = 32
+	TagReject            byte = 33
+	TagAggOrderReqBatch  byte = 34
+	TagAggOrderRespBatch byte = 35
 	// TagGobFallback frames a gob-encoded payload for message types the
 	// binary codec does not know.
 	TagGobFallback byte = 255
@@ -267,6 +269,18 @@ func decodeBody(tag byte, body []byte) (any, error) {
 		return m, nil
 	case TagAggOrderResp:
 		var m AggOrderResp
+		if err := m.Decode(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagAggOrderReqBatch:
+		var m AggOrderReqBatch
+		if err := m.Decode(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagAggOrderRespBatch:
+		var m AggOrderRespBatch
 		if err := m.Decode(body); err != nil {
 			return nil, err
 		}

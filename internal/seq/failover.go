@@ -115,7 +115,7 @@ func (s *Sequencer) leaderTick(now time.Time, epoch types.Epoch) {
 	}
 	if live < s.majority() && s.sawFirstAck() {
 		s.role = RoleBackup
-		s.serving = false
+		s.stopServingLocked()
 		s.lastLeaderHB = now // restart failure detection as a backup
 		s.mu.Unlock()
 		return
@@ -255,12 +255,12 @@ func (s *Sequencer) onEpochClaim(m proto.EpochClaim) {
 		s.ep.Send(m.From, reject)
 		return
 	}
-	s.stats.EpochGrants++
+	s.c.epochGrants.Add(1)
 	// A claim is also evidence the old leader died; observing a higher
 	// epoch makes us step down if we were leader.
 	if s.role == RoleLeader && m.Epoch > s.epoch {
 		s.role = RoleBackup
-		s.serving = false
+		s.stopServingLocked()
 	}
 	s.lastLeaderHB = time.Now() // suppress our own candidacy for a beat
 	grant := proto.EpochGrant{Epoch: m.Epoch, From: s.cfg.ID}
@@ -301,7 +301,7 @@ func (s *Sequencer) onEpochReject(m proto.EpochReject) {
 	// We lost this epoch. Adopt the higher epoch knowledge and back off;
 	// if the winner dies we will claim epoch+1 later.
 	if m.Epoch > s.epoch {
-		s.epoch = m.Epoch
+		s.setEpochLocked(m.Epoch)
 	}
 	if m.Epoch >= s.initEpoch {
 		s.initEpoch = 0
@@ -319,18 +319,24 @@ func (s *Sequencer) onEpochReject(m proto.EpochReject) {
 // Caller holds s.mu.
 func (s *Sequencer) becomeLeaderLocked(epoch types.Epoch) {
 	s.role = RoleLeader
-	s.epoch = epoch
-	s.counter = 0
-	s.serving = false
-	s.stats.Elections++
+	s.setEpochLocked(epoch)
+	s.stopServingLocked() // not serving until SeqInit completes; counter restarts at 0 then
+	s.c.elections.Add(1)
 	s.initEpoch = epoch
 	s.hbAcks = make(map[types.NodeID]time.Time)
-	// Reset entry/aggregation state: in-flight work from the old epoch is
-	// re-driven by replica retries.
-	s.tokens = make(map[types.Token]*tokenState)
-	s.tokenOrder = nil
-	s.pending = make(map[types.ColorID]*[]member)
-	s.inflight = make(map[uint64]*inflight)
+	// Reset aggregation state: in-flight work from the old epoch is
+	// re-driven by replica retries. Token dedup entries invalidate lazily
+	// (they are stamped with their creation epoch), and pending-queue
+	// members from the old term are dropped at the next flush the same
+	// way. aggSeen deliberately survives: a child's resend after our
+	// failover must still get its ORIGINAL assigned range back.
+	s.inflight.Range(func(k, _ any) bool {
+		s.inflight.Delete(k)
+		return true
+	})
+	for _, q := range s.pendingQueues() {
+		q.outstanding.Store(0)
+	}
 
 	replicas := s.topo.ReplicasInRegion(s.cfg.Region)
 	s.initAcks = make(map[types.NodeID]bool, len(replicas))
@@ -343,7 +349,7 @@ func (s *Sequencer) becomeLeaderLocked(epoch types.Epoch) {
 		if len(replicas) == 0 {
 			s.mu.Lock()
 			if s.role == RoleLeader && s.epoch == epoch {
-				s.serving = true
+				s.beginServingLocked()
 			}
 			s.mu.Unlock()
 			return
@@ -369,7 +375,7 @@ func (s *Sequencer) onSeqInitAck(m proto.SeqInitAck) {
 			return
 		}
 	}
-	s.serving = true
+	s.beginServingLocked()
 }
 
 func (s *Sequencer) onHeartbeat(m proto.SeqHeartbeat) {
@@ -379,11 +385,11 @@ func (s *Sequencer) onHeartbeat(m proto.SeqHeartbeat) {
 		return
 	}
 	if m.Epoch > s.epoch {
-		s.epoch = m.Epoch
+		s.setEpochLocked(m.Epoch)
 		if s.role == RoleLeader {
 			// A higher-epoch leader exists: stand down.
 			s.role = RoleBackup
-			s.serving = false
+			s.stopServingLocked()
 		}
 	}
 	if m.Epoch >= s.epoch {
@@ -405,9 +411,9 @@ func (s *Sequencer) onHeartbeatAck(m proto.SeqHeartbeatAck) {
 	}
 	if m.Epoch > s.epoch {
 		// Backups know a newer epoch: a successor was elected. Stand down.
-		s.epoch = m.Epoch
+		s.setEpochLocked(m.Epoch)
 		s.role = RoleBackup
-		s.serving = false
+		s.stopServingLocked()
 		s.lastLeaderHB = time.Now()
 		return
 	}
@@ -426,23 +432,37 @@ func (s *Sequencer) resendExpired(now time.Time) {
 		to  types.NodeID
 	}
 	var outs []out
-	s.mu.Lock()
-	for id, inf := range s.inflight {
-		if now.Sub(inf.sentAt) < s.cfg.RetryTimeout {
-			continue
+	se := s.servingEpoch()
+	s.inflight.Range(func(k, v any) bool {
+		id := k.(uint64)
+		inf := v.(*inflight)
+		if se != 0 && inf.epoch != se {
+			// Flushed under a dead local term (raced the re-election's
+			// inflight clear): discard, replicas re-drive the work.
+			if _, loaded := s.inflight.LoadAndDelete(id); loaded {
+				s.queueFor(inf.color).outstanding.Add(-1)
+			}
+			return true
 		}
-		parent, ok := s.parentLeaderLocked()
+		sent := inf.sentAt.Load()
+		if now.UnixNano()-sent < int64(s.cfg.RetryTimeout) {
+			return true
+		}
+		// CAS the send stamp so concurrent ticks re-send at most once.
+		if !inf.sentAt.CompareAndSwap(sent, now.UnixNano()) {
+			return true
+		}
+		parent, ok := s.parentLeader()
 		if !ok {
-			continue
+			return true
 		}
-		inf.sentAt = now
-		s.stats.Resends++
+		s.c.resends.Add(1)
 		outs = append(outs, out{
 			req: proto.AggOrderReq{Color: inf.color, BatchID: id, Total: inf.total, From: s.cfg.ID},
 			to:  parent,
 		})
-	}
-	s.mu.Unlock()
+		return true
+	})
 	for _, o := range outs {
 		s.ep.Send(o.to, o.req)
 	}

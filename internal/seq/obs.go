@@ -9,9 +9,9 @@ import (
 )
 
 // PublishObs registers the sequencer's counters and role with the
-// observability registry. Publication is func-backed: the mutex-guarded
-// Stats struct stays the single source of truth and is snapshotted at
-// scrape time (one lock per family read — scrapes are rare).
+// observability registry. Publication is func-backed and wait-free end to
+// end: every family reads atomic counters (or the packed SN word), so a
+// /metrics scrape can never stall the ordering path.
 func (s *Sequencer) PublishObs(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -32,16 +32,37 @@ func (s *Sequencer) PublishObs(reg *obs.Registry) {
 		{"flexlog_seq_epoch_grants_total", "Epochs granted to child groups.", func(st Stats) uint64 { return st.EpochGrants }},
 		{"flexlog_seq_dup_tokens_total", "Duplicate order requests absorbed by the token cache.", func(st Stats) uint64 { return st.DupTokens }},
 		{"flexlog_seq_dropped_stale_total", "Stale-epoch messages dropped.", func(st Stats) uint64 { return st.DroppedStale }},
+		{"flexlog_seq_flush_rounds_total", "Flusher passes over the pending per-color queues.", func(st Stats) uint64 { return st.FlushRounds }},
+		{"flexlog_seq_urgent_flushes_total", "Flush rounds triggered early by a queue crossing FlushThreshold.", func(st Stats) uint64 { return st.UrgentFlushes }},
+		{"flexlog_seq_pipelined_batches_total", "Upward batches sent while a prior round for the same color was still unanswered.", func(st Stats) uint64 { return st.PipelinedBatches }},
 	} {
 		fn := c.fn
 		reg.CounterFunc(c.name, c.help, lb, func() uint64 { return fn(s.Stats()) })
 	}
 	reg.GaugeFunc("flexlog_seq_epoch",
 		"Ordering epoch this sequencer currently serves.", lb,
+		func() float64 { return float64(s.Epoch()) })
+	reg.GaugeFunc("flexlog_seq_pending_records",
+		"Records waiting in the per-color pending queues for the next upward flush.", lb,
 		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.epoch)
+			var n int64
+			for _, q := range s.pendingQueues() {
+				n += q.nrec.Load()
+			}
+			if n < 0 {
+				n = 0
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("flexlog_seq_inflight_batches",
+		"Aggregated upward batches awaiting a parent response.", lb,
+		func() float64 {
+			n := 0
+			s.inflight.Range(func(_, _ any) bool {
+				n++
+				return true
+			})
+			return float64(n)
 		})
 	// Per-tenant ordering accounting, one series per declared tenant plus
 	// the default tenant (unclaimed colors) — cardinality is bounded by
@@ -65,9 +86,7 @@ func (s *Sequencer) PublishObs(reg *obs.Registry) {
 	reg.GaugeFunc("flexlog_seq_leader",
 		"1 when this node is its group's serving leader, else 0.", lb,
 		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			if s.role == RoleLeader && s.serving {
+			if s.Serving() {
 				return 1
 			}
 			return 0

@@ -10,6 +10,15 @@
 // batching interval are merged into a single upward request for the sum of
 // their record counts (§5.2 "To improve throughput…").
 //
+// The ordering hot path is lock-free (DESIGN.md §14): SN assignment is one
+// atomic fetch-add on a packed (epoch<<32)|counter word, token dedup and
+// owner-side batch dedup live in striped maps, pending aggregation uses
+// per-color MPSC queues, and all accounting is atomic. The global mutex
+// survives only on the election/failover slow path (failover.go), which
+// swaps the packed word when epochs change. With OrderWorkers > 0 the
+// transport delivers order traffic on a keyed write lane (per-color FIFO,
+// colors parallel) so concurrent colors never serialize on one goroutine.
+//
 // Fault tolerance follows §5.2 "Sequencer replication": each sequencer has
 // 2f stateless backups replicating only the epoch number. Failure is
 // detected by heartbeat silence; the new leader is the backup with the
@@ -23,6 +32,7 @@ package seq
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flexlog/internal/proto"
@@ -84,7 +94,27 @@ type Config struct {
 	// request names (qos.ColorMap of the deployment's tenant declarations).
 	// Nil disables per-tenant sequencer accounting.
 	TenantOf map[types.ColorID]types.TenantID
+
+	// OrderWorkers sizes the keyed write lane order traffic is delivered
+	// on: messages for different colors run on different workers while one
+	// color stays FIFO on one worker. 0 keeps the single delivery loop.
+	OrderWorkers int
+	// FlushThreshold is the pending-record count at which a color's queue
+	// triggers an urgent flush, skipping the rest of the BatchInterval
+	// linger (only when PipelinedFlush is on). 0 uses a default of 256;
+	// negative disables urgency entirely.
+	FlushThreshold int
+	// PipelinedFlush lets the flusher start a new upward round for a color
+	// while the previous round is still unanswered, and combines the
+	// rounds of multiple colors into a single AggOrderReqBatch frame to
+	// the parent. Off, the flusher behaves like the classic one-frame-
+	// per-color stage (still correct, just not overlapped).
+	PipelinedFlush bool
 }
+
+// defaultFlushThreshold is the urgent-flush pending-record trigger when
+// Config.FlushThreshold is zero.
+const defaultFlushThreshold = 256
 
 // DefaultConfig fills the timing knobs with test-friendly values.
 func DefaultConfig() Config {
@@ -94,6 +124,7 @@ func DefaultConfig() Config {
 		FailureTimeout:    25 * time.Millisecond,
 		RetryTimeout:      50 * time.Millisecond,
 		TokenCacheSize:    1 << 20,
+		PipelinedFlush:    true,
 	}
 }
 
@@ -110,20 +141,16 @@ type childBatch struct {
 	from    types.NodeID
 }
 
-// inflight tracks an aggregated request sent to the parent.
+// inflight tracks an aggregated request sent to the parent. It is stamped
+// with the serving epoch it was flushed under; a new local leadership
+// clears the inflight table, and the resend loop discards stragglers whose
+// epoch no longer matches.
 type inflight struct {
 	color   types.ColorID
+	epoch   types.Epoch
 	total   uint32
 	members []member
-	sentAt  time.Time
-}
-
-// tokenState tracks dedup state for tokens this node has seen as the entry
-// sequencer (Alg. 1 lines 28–31).
-type tokenState struct {
-	assigned bool
-	lastSN   types.SN
-	req      *proto.OrderReq
+	sentAt  atomic.Int64 // unix nanos of the last (re)send
 }
 
 // Stats counts ordering-layer activity.
@@ -131,13 +158,17 @@ type Stats struct {
 	Assigned     uint64 // SNs issued by this node as region owner
 	DirectReqs   uint64 // order requests received from replicas (incl. batch items)
 	ReqBatches   uint64 // coalesced OrderReqBatch messages received
-	ChildReqs    uint64 // aggregated requests received from children
+	ChildReqs    uint64 // aggregated requests received from children (incl. batch items)
 	BatchesSent  uint64 // aggregated requests sent to the parent
 	Resends      uint64
 	Elections    uint64 // leaderships won by this node
 	EpochGrants  uint64
 	DupTokens    uint64
 	DroppedStale uint64
+
+	FlushRounds      uint64 // flusher passes over the pending queues
+	UrgentFlushes    uint64 // rounds triggered early by FlushThreshold
+	PipelinedBatches uint64 // upward batches sent while a prior round for the same color was unanswered
 }
 
 // Sequencer is one ordering-layer node.
@@ -146,25 +177,42 @@ type Sequencer struct {
 	topo *topology.Topology
 	ep   transport.Endpoint
 
+	// ready gates message handling on endpoint publication: delivery
+	// starts at Register, before the constructor stores s.ep.
+	ready atomic.Bool
+
+	// ---- Lock-free hot path (hotpath.go) ----
+
+	snWord      atomic.Uint64 // packed (servingEpoch<<32)|counter; 0 = not serving
+	epochMirror atomic.Uint32 // wait-free mirror of epoch for Epoch()/obs
+	c           counters
+
+	tokens   [tokenStripes]tokenStripe // entry-side token dedup
+	tokenCap int                       // per-stripe FIFO capacity
+
+	pendQ    sync.Map // types.ColorID → *colorQueue
+	pendMu   sync.Mutex
+	pendList atomic.Pointer[[]*colorQueue]
+
+	aggSeen [aggStripes]aggStripe // owner-side dedup of child batches
+
+	batchSeq atomic.Uint64
+	inflight sync.Map // batchID uint64 → *inflight
+
+	urgent         atomic.Bool // a queue crossed FlushThreshold; skip the linger
+	flushThreshold int
+
+	// Per-tenant accounting: built once at construction, read-only after.
+	tenantTotals  map[types.TenantID]*atomic.Uint64
+	tenantByColor map[types.ColorID]*atomic.Uint64
+
+	// ---- Cold path: election/failover state (failover.go) ----
+
 	mu      sync.Mutex
 	role    Role
 	epoch   types.Epoch
-	counter uint32
 	serving bool // leader finished initialization and serves requests
 
-	// entry-side token dedup (bounded FIFO eviction)
-	tokens     map[types.Token]*tokenState
-	tokenOrder []types.Token
-
-	// aggregation
-	pending  map[types.ColorID]*[]member
-	batchSeq uint64
-	inflight map[uint64]*inflight
-
-	// owner-side dedup of child batches (survives duplicate resends)
-	aggSeen map[childKey]types.SN
-
-	// election / heartbeat state
 	grantedEpoch types.Epoch
 	grantedTo    types.NodeID
 	// lastLeaderHB is the candidacy-suppression clock: reset by leader
@@ -179,15 +227,10 @@ type Sequencer struct {
 	initEpoch      types.Epoch
 	claimStart     time.Time
 
-	stats Stats
-	// tenantOrdered counts records ordered per tenant, attributed at the
-	// entry sequencer (direct requests only, so tree aggregation does not
-	// double-count). Nil unless Config.TenantOf is set.
-	tenantOrdered map[types.TenantID]uint64
-
-	stopCh  chan struct{}
-	stopped sync.WaitGroup
-	kick    chan struct{} // wakes the flusher
+	stopCh   chan struct{}
+	stopped  sync.WaitGroup
+	kick     chan struct{} // wakes the flusher
+	laneStop func()        // drains handler-wrapped lanes (custom endpoints)
 }
 
 type childKey struct {
@@ -195,16 +238,56 @@ type childKey struct {
 	batchID uint64
 }
 
+// seqWriteClass keys order traffic onto the write lane: per-color frames
+// hash by color (one color stays FIFO on one worker; colors run in
+// parallel), multi-color batch frames hash by their sender so a child's
+// combined rounds stay ordered. Election and heartbeat traffic stays on
+// the inline delivery path.
+func seqWriteClass(msg transport.Message) (uint64, bool) {
+	switch m := msg.(type) {
+	case proto.OrderReq:
+		return uint64(m.Color), true
+	case proto.OrderReqBatch:
+		return uint64(m.Color), true
+	case proto.AggOrderReq:
+		return uint64(m.Color), true
+	case proto.AggOrderResp:
+		return uint64(m.Color), true
+	case proto.AggOrderReqBatch:
+		return uint64(m.From), true
+	case proto.AggOrderRespBatch:
+		return uint64(m.From), true
+	}
+	return 0, false
+}
+
+// lanes builds the transport lane layout for this sequencer.
+func (s *Sequencer) lanes() transport.Lanes {
+	return transport.Lanes{
+		Write: transport.WriteLaneConfig{
+			Workers: s.cfg.OrderWorkers,
+			Key:     seqWriteClass,
+		},
+	}
+}
+
 // New creates the sequencer and registers it on the in-process network.
 func New(cfg Config, net *transport.Network) (*Sequencer, error) {
 	s := newSequencer(cfg)
-	ep, err := net.Register(cfg.ID, s.handle)
+	var (
+		ep  transport.Endpoint
+		err error
+	)
+	if cfg.OrderWorkers > 0 {
+		ep, err = net.RegisterWithLanes(cfg.ID, s.handle, s.lanes())
+	} else {
+		ep, err = net.Register(cfg.ID, s.handle)
+	}
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
 	s.ep = ep
-	s.mu.Unlock()
+	s.ready.Store(true)
 	s.start()
 	return s, nil
 }
@@ -214,13 +297,21 @@ func New(cfg Config, net *transport.Network) (*Sequencer, error) {
 // the message handler and return the endpoint.
 func NewWithEndpoint(cfg Config, attach func(h transport.Handler) (transport.Endpoint, error)) (*Sequencer, error) {
 	s := newSequencer(cfg)
-	ep, err := attach(s.handle)
+	h := transport.Handler(s.handle)
+	if cfg.OrderWorkers > 0 {
+		wrapped, _, _, stop := transport.WithLanes(h, s.lanes())
+		h = wrapped
+		s.laneStop = stop
+	}
+	ep, err := attach(h)
 	if err != nil {
+		if s.laneStop != nil {
+			s.laneStop()
+		}
 		return nil, err
 	}
-	s.mu.Lock()
 	s.ep = ep
-	s.mu.Unlock()
+	s.ready.Store(true)
 	s.start()
 	return s, nil
 }
@@ -230,30 +321,42 @@ func newSequencer(cfg Config) *Sequencer {
 		cfg.TokenCacheSize = 1 << 20
 	}
 	s := &Sequencer{
-		cfg:      cfg,
-		topo:     cfg.Topo,
-		tokens:   make(map[types.Token]*tokenState),
-		pending:  make(map[types.ColorID]*[]member),
-		inflight: make(map[uint64]*inflight),
-		aggSeen:  make(map[childKey]types.SN),
-		hbAcks:   make(map[types.NodeID]time.Time),
-		stopCh:   make(chan struct{}),
-		kick:     make(chan struct{}, 1),
+		cfg:    cfg,
+		topo:   cfg.Topo,
+		hbAcks: make(map[types.NodeID]time.Time),
+		stopCh: make(chan struct{}),
+		kick:   make(chan struct{}, 1),
 	}
-	if len(cfg.TenantOf) > 0 {
-		s.tenantOrdered = make(map[types.TenantID]uint64)
+	s.tokenCap = cfg.TokenCacheSize / tokenStripes
+	if s.tokenCap < 1 {
+		s.tokenCap = 1
 	}
+	for i := range s.tokens {
+		s.tokens[i].m = make(map[types.Token]tokenEntry)
+	}
+	for i := range s.aggSeen {
+		s.aggSeen[i].m = make(map[childKey]types.SN)
+	}
+	switch {
+	case cfg.FlushThreshold > 0:
+		s.flushThreshold = cfg.FlushThreshold
+	case cfg.FlushThreshold == 0:
+		s.flushThreshold = defaultFlushThreshold
+	default:
+		s.flushThreshold = 0 // disabled
+	}
+	s.buildTenantCounters()
 	epoch := types.Epoch(1)
 	if cfg.InitialEpoch > 0 {
 		epoch = cfg.InitialEpoch
 	}
 	if cfg.StartAsLeader {
 		s.role = RoleLeader
-		s.epoch = epoch
-		s.serving = true
+		s.setEpochLocked(epoch)
+		s.beginServingLocked()
 	} else {
 		s.role = RoleBackup
-		s.epoch = epoch
+		s.setEpochLocked(epoch)
 		s.lastLeaderHB = time.Now()
 	}
 	return s
@@ -278,51 +381,36 @@ func (s *Sequencer) Role() Role {
 	return s.role
 }
 
-// Epoch returns the node's current epoch.
+// Epoch returns the node's current epoch (wait-free).
 func (s *Sequencer) Epoch() types.Epoch {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.epoch
+	return types.Epoch(s.epochMirror.Load())
 }
 
-// Serving reports whether the node is an initialized, active leader.
+// Serving reports whether the node is an initialized, active leader
+// (wait-free: the packed SN word's epoch half is nonzero exactly while
+// the node serves).
 func (s *Sequencer) Serving() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.role == RoleLeader && s.serving
+	return s.servingEpoch() != 0
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters (wait-free: plain atomic
+// loads, so /metrics scrapes can never stall the ordering path).
 func (s *Sequencer) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
-
-// noteTenantLocked attributes n ordered records to the tenant owning
-// color. Caller holds s.mu.
-func (s *Sequencer) noteTenantLocked(color types.ColorID, n uint64) {
-	if s.tenantOrdered == nil {
-		return
-	}
-	t, ok := s.cfg.TenantOf[color]
-	if !ok {
-		t = types.DefaultTenant
-	}
-	s.tenantOrdered[t] += n
+	return s.c.snapshot()
 }
 
 // TenantOrdered snapshots the per-tenant ordered-record counters (nil
-// when per-tenant accounting is off).
+// when per-tenant accounting is off). Wait-free: the tenant table is
+// immutable after construction and each counter is one atomic load.
 func (s *Sequencer) TenantOrdered() map[types.TenantID]uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.tenantOrdered == nil {
+	if s.tenantTotals == nil {
 		return nil
 	}
-	out := make(map[types.TenantID]uint64, len(s.tenantOrdered))
-	for k, v := range s.tenantOrdered {
-		out[k] = v
+	out := make(map[types.TenantID]uint64, len(s.tenantTotals))
+	for t, c := range s.tenantTotals {
+		if v := c.Load(); v > 0 {
+			out[t] = v
+		}
 	}
 	return out
 }
@@ -335,10 +423,13 @@ func (s *Sequencer) Stop() {
 		return
 	}
 	s.role = RoleStopped
-	s.serving = false
+	s.stopServingLocked()
 	close(s.stopCh)
 	s.mu.Unlock()
 	s.stopped.Wait()
+	if s.laneStop != nil {
+		s.laneStop()
+	}
 }
 
 // Crash simulates a crash failure: the node stops processing and emitting
@@ -350,10 +441,7 @@ func (s *Sequencer) Crash() { s.Stop() }
 // (delivery starts at Register, before the endpoint is published) are
 // dropped; every protocol above re-drives lost messages anyway.
 func (s *Sequencer) handle(from types.NodeID, msg transport.Message) {
-	s.mu.Lock()
-	ready := s.ep != nil
-	s.mu.Unlock()
-	if !ready {
+	if !s.ready.Load() {
 		return
 	}
 	switch m := msg.(type) {
@@ -363,8 +451,12 @@ func (s *Sequencer) handle(from types.NodeID, msg transport.Message) {
 		s.onOrderReqBatch(from, m)
 	case proto.AggOrderReq:
 		s.onAggOrderReq(m)
+	case proto.AggOrderReqBatch:
+		s.onAggOrderReqBatch(m)
 	case proto.AggOrderResp:
 		s.onAggOrderResp(m)
+	case proto.AggOrderRespBatch:
+		s.onAggOrderRespBatch(m)
 	case proto.SeqHeartbeat:
 		s.onHeartbeat(m)
 	case proto.SeqHeartbeatAck:
@@ -382,145 +474,183 @@ func (s *Sequencer) handle(from types.NodeID, msg transport.Message) {
 	}
 }
 
-// ---- Order request path ----
+// ---- Order request path (lock-free) ----
 
 func (s *Sequencer) onOrderReq(req proto.OrderReq) {
-	s.mu.Lock()
-	if s.role != RoleLeader || !s.serving {
-		s.stats.DroppedStale++
-		s.mu.Unlock()
+	se := s.servingEpoch()
+	if se == 0 {
+		s.c.droppedStale.Add(1)
 		return
 	}
-	s.stats.DirectReqs++
-	s.noteTenantLocked(req.Color, uint64(req.NRecords))
-	if st, ok := s.tokens[req.Token]; ok {
-		s.stats.DupTokens++
-		if st.assigned {
+	s.c.directReqs.Add(1)
+	s.noteTenant(req.Color, uint64(req.NRecords))
+	st := s.tokenStripeFor(req.Token)
+	st.mu.Lock()
+	if e, ok := st.lookup(req.Token, se); ok {
+		st.mu.Unlock()
+		s.c.dupTokens.Add(1)
+		if e.assigned {
 			// Re-broadcast the cached response (a replica retried because
 			// it missed the original OResp).
-			resp := proto.OrderResp{Token: req.Token, LastSN: st.lastSN, NRecords: req.NRecords, Color: req.Color}
-			replicas := req.Replicas
-			s.mu.Unlock()
-			s.ep.Broadcast(replicas, resp)
-			return
+			s.ep.Broadcast(req.Replicas, proto.OrderResp{Token: req.Token, LastSN: e.lastSN, NRecords: req.NRecords, Color: req.Color})
 		}
-		// Still pending in a batch or in flight; the response will reach
-		// the shard when the owner answers.
-		s.mu.Unlock()
+		// Else: still pending in a batch or in flight; the response will
+		// reach the shard when the owner answers.
 		return
 	}
 	if req.Color == s.cfg.Region {
 		// This node owns the region: assign immediately (Alg. 1 lines
-		// 32–35).
-		last := s.assignLocked(req.NRecords)
-		s.rememberTokenLocked(req.Token, &tokenState{assigned: true, lastSN: last})
-		resp := proto.OrderResp{Token: req.Token, LastSN: last, NRecords: req.NRecords, Color: req.Color}
-		replicas := req.Replicas
-		s.mu.Unlock()
-		s.ep.Broadcast(replicas, resp)
+		// 32–35). The stripe lock is held across assign+remember so a
+		// racing duplicate can never burn a second range for the token.
+		last, ok := s.assignFast(req.NRecords)
+		if !ok {
+			st.mu.Unlock()
+			s.c.droppedStale.Add(1)
+			return
+		}
+		st.remember(req.Token, tokenEntry{epoch: types.Epoch(last.Epoch()), assigned: true, lastSN: last}, s.tokenCap)
+		st.mu.Unlock()
+		s.ep.Broadcast(req.Replicas, proto.OrderResp{Token: req.Token, LastSN: last, NRecords: req.NRecords, Color: req.Color})
 		return
 	}
 	// Not the owner: aggregate upward (Alg. 1 line 37, merged per §5.2).
+	st.remember(req.Token, tokenEntry{epoch: se}, s.tokenCap)
+	st.mu.Unlock()
 	r := req
-	s.rememberTokenLocked(req.Token, &tokenState{req: &r})
-	s.enqueueLocked(req.Color, member{req: &r, n: req.NRecords})
-	s.mu.Unlock()
-	s.kickFlusher()
+	s.enqueue(req.Color, member{req: &r, n: req.NRecords}, se)
 }
 
 // onOrderReqBatch handles a replica's coalesced order requests: all items
-// share one color and one shard, so the whole batch takes a single pass
-// under the lock and — on the owner — answers with a single OrderRespBatch
-// broadcast instead of one OrderResp per token. Dup handling preserves the
-// per-token semantics of onOrderReq: already-assigned items are re-answered
-// to the SENDER only (the original assignment was already broadcast to the
-// whole shard; a retrying replica just missed it), items still pending in a
-// batch get no reply (the owner's answer will reach the shard), and fresh
-// items are assigned or aggregated upward as individual members so the
-// existing AggOrderReq machinery splits ranges exactly as before.
+// share one color and one shard, and — on the owner — are answered with a
+// single OrderRespBatch broadcast instead of one OrderResp per token. Dup
+// handling preserves the per-token semantics of onOrderReq: already-
+// assigned items are re-answered to the SENDER only (the original
+// assignment was already broadcast to the whole shard; a retrying replica
+// just missed it), items still pending in a batch get no reply (the
+// owner's answer will reach the shard), and fresh items are assigned or
+// aggregated upward as individual members so the existing AggOrderReq
+// machinery splits ranges exactly as before.
 func (s *Sequencer) onOrderReqBatch(from types.NodeID, m proto.OrderReqBatch) {
-	s.mu.Lock()
-	if s.role != RoleLeader || !s.serving {
-		s.stats.DroppedStale++
-		s.mu.Unlock()
+	se := s.servingEpoch()
+	if se == 0 {
+		s.c.droppedStale.Add(1)
 		return
 	}
-	s.stats.ReqBatches++
-	s.stats.DirectReqs += uint64(len(m.Items))
+	s.c.reqBatches.Add(1)
+	s.c.directReqs.Add(uint64(len(m.Items)))
+	var nTotal uint64
 	for _, it := range m.Items {
-		s.noteTenantLocked(m.Color, uint64(it.NRecords))
+		nTotal += uint64(it.NRecords)
 	}
+	s.noteTenant(m.Color, nTotal)
 	owner := m.Color == s.cfg.Region
 	var fresh []proto.OrderRespItem // owner-path assignments → broadcast
 	var dups []proto.OrderRespItem  // already-assigned retries → sender only
-	queued := false
 	for _, it := range m.Items {
-		if st, ok := s.tokens[it.Token]; ok {
-			s.stats.DupTokens++
-			if st.assigned {
-				dups = append(dups, proto.OrderRespItem{Token: it.Token, LastSN: st.lastSN, NRecords: it.NRecords})
+		st := s.tokenStripeFor(it.Token)
+		st.mu.Lock()
+		if e, ok := st.lookup(it.Token, se); ok {
+			st.mu.Unlock()
+			s.c.dupTokens.Add(1)
+			if e.assigned {
+				dups = append(dups, proto.OrderRespItem{Token: it.Token, LastSN: e.lastSN, NRecords: it.NRecords})
 			}
 			continue
 		}
 		if owner {
-			last := s.assignLocked(it.NRecords)
-			s.rememberTokenLocked(it.Token, &tokenState{assigned: true, lastSN: last})
+			last, ok := s.assignFast(it.NRecords)
+			if !ok {
+				st.mu.Unlock()
+				s.c.droppedStale.Add(1)
+				continue
+			}
+			st.remember(it.Token, tokenEntry{epoch: types.Epoch(last.Epoch()), assigned: true, lastSN: last}, s.tokenCap)
+			st.mu.Unlock()
 			fresh = append(fresh, proto.OrderRespItem{Token: it.Token, LastSN: last, NRecords: it.NRecords})
 			continue
 		}
+		st.remember(it.Token, tokenEntry{epoch: se}, s.tokenCap)
+		st.mu.Unlock()
 		req := &proto.OrderReq{Color: m.Color, Token: it.Token, NRecords: it.NRecords, Shard: m.Shard, Replicas: m.Replicas}
-		s.rememberTokenLocked(it.Token, &tokenState{req: req})
-		s.enqueueLocked(m.Color, member{req: req, n: it.NRecords})
-		queued = true
+		s.enqueue(m.Color, member{req: req, n: it.NRecords}, se)
 	}
-	replicas := m.Replicas
-	s.mu.Unlock()
 	if len(fresh) > 0 {
-		s.ep.Broadcast(replicas, proto.OrderRespBatch{Color: m.Color, Items: fresh})
+		s.ep.Broadcast(m.Replicas, proto.OrderRespBatch{Color: m.Color, Items: fresh})
 	}
 	if len(dups) > 0 {
 		s.ep.Send(from, proto.OrderRespBatch{Color: m.Color, Items: dups})
 	}
-	if queued {
-		s.kickFlusher()
-	}
 }
 
 func (s *Sequencer) onAggOrderReq(m proto.AggOrderReq) {
-	s.mu.Lock()
-	if s.role != RoleLeader || !s.serving {
-		s.stats.DroppedStale++
-		s.mu.Unlock()
+	if resp, ok := s.handleAggItem(m.From, m.Color, m.BatchID, m.Total); ok {
+		s.ep.Send(m.From, resp)
+	}
+}
+
+// onAggOrderReqBatch handles a child's combined upward rounds (several
+// colors flushed in one frame). Items this node can answer now — owner
+// assignments and dup resends — are returned in a single AggOrderRespBatch;
+// the rest are enqueued toward this node's own parent.
+func (s *Sequencer) onAggOrderReqBatch(m proto.AggOrderReqBatch) {
+	var items []proto.AggOrderRespItem
+	for _, it := range m.Items {
+		if resp, ok := s.handleAggItem(m.From, it.Color, it.BatchID, it.Total); ok {
+			items = append(items, proto.AggOrderRespItem{Color: resp.Color, BatchID: resp.BatchID, LastSN: resp.LastSN})
+		}
+	}
+	if len(items) == 1 {
+		s.ep.Send(m.From, proto.AggOrderResp{BatchID: items[0].BatchID, LastSN: items[0].LastSN, Color: items[0].Color})
 		return
 	}
-	s.stats.ChildReqs++
-	key := childKey{from: m.From, batchID: m.BatchID}
-	if last, ok := s.aggSeen[key]; ok {
+	if len(items) > 0 {
+		s.ep.Send(m.From, proto.AggOrderRespBatch{From: s.cfg.ID, Items: items})
+	}
+}
+
+// handleAggItem processes one aggregated child request. ok=true returns
+// the response this node can give immediately (owner assignment or dedup
+// replay); ok=false means the item was enqueued upward or dropped.
+func (s *Sequencer) handleAggItem(from types.NodeID, color types.ColorID, batchID uint64, total uint32) (proto.AggOrderResp, bool) {
+	se := s.servingEpoch()
+	if se == 0 {
+		s.c.droppedStale.Add(1)
+		return proto.AggOrderResp{}, false
+	}
+	s.c.childReqs.Add(1)
+	key := childKey{from: from, batchID: batchID}
+	ag := s.aggStripeFor(key)
+	ag.mu.Lock()
+	if last, ok := ag.m[key]; ok {
 		// Duplicate resend of a batch we already answered.
-		s.mu.Unlock()
-		s.ep.Send(m.From, proto.AggOrderResp{BatchID: m.BatchID, LastSN: last, Color: m.Color})
-		return
+		ag.mu.Unlock()
+		return proto.AggOrderResp{BatchID: batchID, LastSN: last, Color: color}, true
 	}
-	if m.Color == s.cfg.Region {
-		last := s.assignLocked(m.Total)
-		s.aggSeen[key] = last
-		s.mu.Unlock()
-		s.ep.Send(m.From, proto.AggOrderResp{BatchID: m.BatchID, LastSN: last, Color: m.Color})
-		return
+	if color == s.cfg.Region {
+		// The stripe lock spans assign+record so a racing duplicate can
+		// never burn a second range for the same child batch.
+		last, ok := s.assignFast(total)
+		if !ok {
+			ag.mu.Unlock()
+			s.c.droppedStale.Add(1)
+			return proto.AggOrderResp{}, false
+		}
+		ag.m[key] = last
+		ag.mu.Unlock()
+		return proto.AggOrderResp{BatchID: batchID, LastSN: last, Color: color}, true
 	}
-	s.enqueueLocked(m.Color, member{child: &childBatch{batchID: m.BatchID, from: m.From}, n: m.Total})
-	s.mu.Unlock()
-	s.kickFlusher()
+	ag.mu.Unlock()
+	s.enqueue(color, member{child: &childBatch{batchID: batchID, from: from}, n: total}, se)
+	return proto.AggOrderResp{}, false
 }
 
 func (s *Sequencer) onAggOrderResp(m proto.AggOrderResp) {
-	s.mu.Lock()
-	inf, ok := s.inflight[m.BatchID]
+	v, ok := s.inflight.LoadAndDelete(m.BatchID)
 	if !ok {
-		s.mu.Unlock()
 		return
 	}
-	delete(s.inflight, m.BatchID)
+	inf := v.(*inflight)
+	s.queueFor(inf.color).outstanding.Add(-1)
 	// Split the assigned range [last-total+1, last] across the members in
 	// order (§5.2: "assigns all SNs in the range … which are distributed
 	// to their respective origin").
@@ -535,21 +665,17 @@ func (s *Sequencer) onAggOrderResp(m proto.AggOrderResp) {
 		replicas []types.NodeID
 		items    []proto.OrderRespItem
 	}
-	type childOut struct {
-		resp proto.AggOrderResp
-		to   types.NodeID
-	}
 	var groupOrder []string
 	byGroup := make(map[string]*shardOut)
-	var children []childOut
 	for _, mem := range inf.members {
 		running += types.SN(mem.n)
 		if mem.req != nil {
-			if st, ok := s.tokens[mem.req.Token]; ok {
-				st.assigned = true
-				st.lastSN = running
-				st.req = nil
+			st := s.tokenStripeFor(mem.req.Token)
+			st.mu.Lock()
+			if e, ok := st.m[mem.req.Token]; ok && e.epoch == inf.epoch && !e.assigned {
+				st.m[mem.req.Token] = tokenEntry{epoch: e.epoch, assigned: true, lastSN: running}
 			}
+			st.mu.Unlock()
 			key := replicaSetKey(mem.req.Shard, mem.req.Replicas)
 			so := byGroup[key]
 			if so == nil {
@@ -559,13 +685,9 @@ func (s *Sequencer) onAggOrderResp(m proto.AggOrderResp) {
 			}
 			so.items = append(so.items, proto.OrderRespItem{Token: mem.req.Token, LastSN: running, NRecords: mem.n})
 		} else {
-			children = append(children, childOut{
-				resp: proto.AggOrderResp{BatchID: mem.child.batchID, LastSN: running, Color: inf.color},
-				to:   mem.child.from,
-			})
+			s.ep.Send(mem.child.from, proto.AggOrderResp{BatchID: mem.child.batchID, LastSN: running, Color: inf.color})
 		}
 	}
-	s.mu.Unlock()
 	for _, key := range groupOrder {
 		so := byGroup[key]
 		if len(so.items) == 1 {
@@ -576,8 +698,12 @@ func (s *Sequencer) onAggOrderResp(m proto.AggOrderResp) {
 		}
 		s.ep.Broadcast(so.replicas, proto.OrderRespBatch{Color: inf.color, Items: so.items})
 	}
-	for _, c := range children {
-		s.ep.Send(c.to, c.resp)
+}
+
+// onAggOrderRespBatch unpacks a parent's combined answers.
+func (s *Sequencer) onAggOrderRespBatch(m proto.AggOrderRespBatch) {
+	for _, it := range m.Items {
+		s.onAggOrderResp(proto.AggOrderResp{BatchID: it.BatchID, LastSN: it.LastSN, Color: it.Color})
 	}
 }
 
@@ -592,34 +718,18 @@ func replicaSetKey(shard types.ShardID, replicas []types.NodeID) string {
 	return string(b)
 }
 
-// assignLocked advances the counter by n and returns the SN of the last
-// assigned number. Caller holds s.mu.
-func (s *Sequencer) assignLocked(n uint32) types.SN {
-	s.counter += n
-	s.stats.Assigned += uint64(n)
-	return s.epoch.SNFor(s.counter)
-}
-
-// rememberTokenLocked inserts token dedup state with FIFO eviction.
-func (s *Sequencer) rememberTokenLocked(t types.Token, st *tokenState) {
-	if _, exists := s.tokens[t]; !exists {
-		s.tokenOrder = append(s.tokenOrder, t)
+// enqueue appends one member to color's pending queue and wakes the
+// flusher; crossing FlushThreshold flags the round urgent so the flusher
+// skips the remainder of its linger window.
+func (s *Sequencer) enqueue(color types.ColorID, m member, se types.Epoch) {
+	q := s.queueFor(color)
+	q.push(m, se)
+	if s.cfg.PipelinedFlush && s.flushThreshold > 0 && q.nrec.Load() >= int64(s.flushThreshold) {
+		if s.urgent.CompareAndSwap(false, true) {
+			s.c.urgentFlushes.Add(1)
+		}
 	}
-	s.tokens[t] = st
-	for len(s.tokenOrder) > s.cfg.TokenCacheSize {
-		old := s.tokenOrder[0]
-		s.tokenOrder = s.tokenOrder[1:]
-		delete(s.tokens, old)
-	}
-}
-
-func (s *Sequencer) enqueueLocked(color types.ColorID, m member) {
-	q := s.pending[color]
-	if q == nil {
-		q = &[]member{}
-		s.pending[color] = q
-	}
-	*q = append(*q, m)
+	s.kickFlusher()
 }
 
 func (s *Sequencer) kickFlusher() {
@@ -630,7 +740,8 @@ func (s *Sequencer) kickFlusher() {
 }
 
 // flusherLoop merges pending members per color and sends them upward every
-// BatchInterval.
+// BatchInterval; an urgent flag (queue crossed FlushThreshold) cuts the
+// window short so a loaded leaf pipelines rounds back-to-back.
 func (s *Sequencer) flusherLoop() {
 	defer s.stopped.Done()
 	for {
@@ -639,71 +750,102 @@ func (s *Sequencer) flusherLoop() {
 			return
 		case <-s.kick:
 		}
-		if s.cfg.BatchInterval > 0 {
+		if w := s.cfg.BatchInterval; w > 0 && !s.urgent.Load() {
 			// The aggregation window: requests arriving in this interval
-			// are merged (§5.2). Use a plain sleep for ≥1ms windows and a
-			// spin for microsecond ones.
-			if s.cfg.BatchInterval >= time.Millisecond {
-				time.Sleep(s.cfg.BatchInterval)
+			// are merged (§5.2). Use stepped sleeps for ≥1ms windows and a
+			// spin for microsecond ones, re-checking urgency either way.
+			start := time.Now()
+			if w >= time.Millisecond {
+				for {
+					left := w - time.Since(start)
+					if left <= 0 || s.urgent.Load() {
+						break
+					}
+					if left > 200*time.Microsecond {
+						left = 200 * time.Microsecond
+					}
+					time.Sleep(left)
+				}
 			} else {
-				start := time.Now()
-				for time.Since(start) < s.cfg.BatchInterval {
+				for time.Since(start) < w && !s.urgent.Load() {
 					runtime.Gosched() // let requests join the window
 				}
 			}
 		}
+		s.urgent.Store(false)
 		s.flushPending()
 	}
 }
 
-// flushPending sends one aggregated request per pending color.
+// flushPending drains every pending queue and sends the aggregated rounds
+// upward — one AggOrderReq per color, or, with PipelinedFlush, a single
+// AggOrderReqBatch combining all colors of the round. It never takes s.mu:
+// staleness is decided per member by comparing its enqueue epoch against
+// the serving epoch, which also covers the not-leader case (serving epoch
+// 0 matches no member).
 func (s *Sequencer) flushPending() {
-	type out struct {
-		req proto.AggOrderReq
-		to  types.NodeID
-	}
-	var outs []out
-	s.mu.Lock()
-	if s.role != RoleLeader {
-		s.pending = make(map[types.ColorID]*[]member)
-		s.mu.Unlock()
-		return
-	}
-	for color, q := range s.pending {
-		if len(*q) == 0 {
-			continue
-		}
-		parentLeader, ok := s.parentLeaderLocked()
-		if !ok {
-			// No parent (we are the tree root) yet the color is not ours:
-			// misrouted; drop, replicas will retry.
-			s.stats.DroppedStale += uint64(len(*q))
-			delete(s.pending, color)
-			continue
-		}
-		s.batchSeq++
-		id := s.batchSeq
-		members := append([]member(nil), (*q)...)
+	s.c.flushRounds.Add(1)
+	se := s.servingEpoch()
+	parent, hasParent := s.parentLeader()
+	var singles []proto.AggOrderReq
+	var items []proto.AggOrderItem
+	for _, q := range s.pendingQueues() {
+		var members []member
 		var total uint32
-		for _, m := range members {
+		for {
+			m, e, ok := q.pop()
+			if !ok {
+				break
+			}
+			if se == 0 || e != se {
+				// Enqueued under a dead term (or we are no longer serving):
+				// drop; replicas re-drive.
+				s.c.droppedStale.Add(1)
+				continue
+			}
+			members = append(members, m)
 			total += m.n
 		}
-		s.inflight[id] = &inflight{color: color, total: total, members: members, sentAt: time.Now()}
-		s.stats.BatchesSent++
-		outs = append(outs, out{
-			req: proto.AggOrderReq{Color: color, BatchID: id, Total: total, From: s.cfg.ID},
-			to:  parentLeader,
-		})
-		delete(s.pending, color)
+		if len(members) == 0 {
+			continue
+		}
+		if !hasParent {
+			// No parent (we are the tree root) yet the color is not ours:
+			// misrouted; drop, replicas will retry.
+			s.c.droppedStale.Add(uint64(len(members)))
+			continue
+		}
+		id := s.batchSeq.Add(1)
+		inf := &inflight{color: q.color, epoch: se, total: total, members: members}
+		inf.sentAt.Store(time.Now().UnixNano())
+		if q.outstanding.Add(1) > 1 {
+			s.c.pipelinedBatches.Add(1)
+		}
+		s.inflight.Store(id, inf)
+		s.c.batchesSent.Add(1)
+		if s.cfg.PipelinedFlush {
+			items = append(items, proto.AggOrderItem{Color: q.color, BatchID: id, Total: total})
+		} else {
+			singles = append(singles, proto.AggOrderReq{Color: q.color, BatchID: id, Total: total, From: s.cfg.ID})
+		}
 	}
-	s.mu.Unlock()
-	for _, o := range outs {
-		s.ep.Send(o.to, o.req)
+	switch len(items) {
+	case 0:
+	case 1:
+		// A single color's round keeps the compact legacy frame.
+		it := items[0]
+		s.ep.Send(parent, proto.AggOrderReq{Color: it.Color, BatchID: it.BatchID, Total: it.Total, From: s.cfg.ID})
+	default:
+		s.ep.Send(parent, proto.AggOrderReqBatch{From: s.cfg.ID, Items: items})
+	}
+	for _, r := range singles {
+		s.ep.Send(parent, r)
 	}
 }
 
-// parentLeaderLocked resolves the current leader of the parent region.
-func (s *Sequencer) parentLeaderLocked() (types.NodeID, bool) {
+// parentLeader resolves the current leader of the parent region. The
+// topology is internally synchronized; no sequencer lock is needed.
+func (s *Sequencer) parentLeader() (types.NodeID, bool) {
 	parent, has, err := s.topo.Parent(s.cfg.Region)
 	if err != nil || !has {
 		return 0, false
