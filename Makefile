@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke tiering-smoke codec-smoke qos-smoke seq-smoke
+.PHONY: verify build test vet race bench bench-smoke bench-write-smoke chaos-smoke chaos-soak docs-check obs-smoke tiering-smoke codec-smoke qos-smoke seq-smoke reconfig-smoke
 
-verify: build test vet race chaos-smoke bench-write-smoke obs-smoke tiering-smoke codec-smoke qos-smoke seq-smoke docs-check
+verify: build test vet race chaos-smoke bench-write-smoke obs-smoke tiering-smoke codec-smoke qos-smoke seq-smoke reconfig-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/replica/... ./internal/transport/... ./internal/storage/...
+	$(GO) test -race ./internal/core/... ./internal/replica/... ./internal/transport/... ./internal/storage/... ./internal/ctrlplane/...
 
 # Short seeded chaos soak (drop/dup/reorder/jitter + replica crashes +
 # leader kills) under -race; a failure prints the seed and the nemesis
@@ -86,8 +86,20 @@ seq-smoke:
 	$(GO) test -race -count=1 -run 'TestConcurrentOrderingStress|TestEpochBumpDuringFlood' ./internal/seq/
 	timeout 120 $(GO) test -count=1 -run 'TestAblateSeqShape' ./internal/bench/
 
-# Godoc coverage gate: every exported symbol in internal/obs must carry a
-# doc comment (OPERATIONS.md's coverage test guards the metric names; this
-# guards the API docs).
+# Reconfiguration smoke (DESIGN.md §15): the -race stress test (appends
+# flooding two colors through a concurrent shard split + replica drain +
+# replica add, gated by the histcheck oracle) plus the quick
+# ablate-reconfig curve (bounded dip during the window, post-split
+# throughput >= 95% of pre-split).
+reconfig-smoke:
+	$(GO) test -race -count=1 -run 'TestReconfigUnderLoad' ./internal/ctrlplane/
+	timeout 60 $(GO) test -count=1 -run 'TestAblateReconfigShape' ./internal/bench/
+
+# Godoc coverage gate: every exported symbol in internal/obs (and the
+# control plane's operator-facing API) must carry a doc comment
+# (OPERATIONS.md's coverage test guards the metric names; this guards the
+# API docs). -flags verifies every flexlog-server / flexlog-cli flag is
+# documented in README.md or OPERATIONS.md.
 docs-check:
-	$(GO) run ./cmd/docs-check internal/obs
+	$(GO) run ./cmd/docs-check internal/obs internal/ctrlplane
+	$(GO) run ./cmd/docs-check -flags cmd/flexlog-server cmd/flexlog-cli

@@ -1,17 +1,25 @@
-// Command docs-check enforces godoc coverage: every exported top-level
-// declaration (and exported method) in the given package directories must
-// carry a doc comment, and every package must have a package comment.
+// Command docs-check enforces two documentation gates:
+//
+//   - godoc coverage: every exported top-level declaration (and exported
+//     method) in the given package directories must carry a doc comment,
+//     and every package must have a package comment.
+//   - flag coverage (-flags): every command-line flag a binary registers
+//     (flag.String / sub.Bool / ... — any *"name", ...* flag-package call)
+//     must be mentioned as -name in README.md or OPERATIONS.md, so the
+//     operator surface can't drift ahead of its documentation.
 //
 // Usage:
 //
-//	docs-check [dir ...]    # default: internal/obs
+//	docs-check [dir ...]           # godoc gate; default: internal/obs
+//	docs-check -flags [cmddir ...] # flag gate; default: cmd/flexlog-server cmd/flexlog-cli
 //
-// It exits non-zero listing each undocumented symbol, so `make docs-check`
-// fails the build when documentation drifts. It parses source directly
-// (go/parser), so it needs no build context and runs in a second.
+// It exits non-zero listing each miss, so `make docs-check` fails the
+// build when documentation drifts. It parses source directly (go/parser),
+// so it needs no build context and runs in a second.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -22,11 +30,42 @@ import (
 )
 
 func main() {
-	dirs := os.Args[1:]
+	flagMode := flag.Bool("flags", false, "check that every registered command-line flag is documented in README.md or OPERATIONS.md")
+	flag.Parse()
+	dirs := flag.Args()
+
+	var misses []string
+	if *flagMode {
+		if len(dirs) == 0 {
+			dirs = []string{"cmd/flexlog-server", "cmd/flexlog-cli"}
+		}
+		docs, err := loadDocs("README.md", "OPERATIONS.md")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docs-check: %v\n", err)
+			os.Exit(1)
+		}
+		for _, dir := range dirs {
+			m, err := checkFlags(dir, docs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "docs-check: %s: %v\n", dir, err)
+				os.Exit(1)
+			}
+			misses = append(misses, m...)
+		}
+		if len(misses) > 0 {
+			fmt.Fprintf(os.Stderr, "docs-check: %d undocumented flags (add -name to README.md or OPERATIONS.md):\n", len(misses))
+			for _, m := range misses {
+				fmt.Fprintf(os.Stderr, "  %s\n", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("docs-check: flags in %d command(s) all documented\n", len(dirs))
+		return
+	}
+
 	if len(dirs) == 0 {
 		dirs = []string{"internal/obs"}
 	}
-	var misses []string
 	for _, dir := range dirs {
 		m, err := checkDir(dir)
 		if err != nil {
@@ -43,6 +82,88 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("docs-check: %d package(s) clean\n", len(dirs))
+}
+
+// loadDocs concatenates the named markdown files (a missing file is an
+// error — the gate must not silently pass on a renamed doc).
+func loadDocs(files ...string) (string, error) {
+	var sb strings.Builder
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return "", err
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// checkFlags parses every non-test .go file in a command directory,
+// collects each flag-registration call's flag name, and returns one line
+// per flag whose "-name" never appears in the docs.
+func checkFlags(dir, docs string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		for name, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fname, ok := flagName(call)
+				if !ok {
+					return true
+				}
+				if !strings.Contains(docs, "-"+fname) {
+					out = append(out, fmt.Sprintf("%s:%d: flag -%s", filepath.Base(name), fset.Position(call.Pos()).Line, fname))
+				}
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// flagRegisters are the flag-package methods that declare a flag with the
+// name as their first string-literal argument. Both the package-level
+// flag.X and FlagSet method forms (sub.X) match, since the selector name
+// is the same.
+var flagRegisters = map[string]bool{
+	"Bool": true, "Int": true, "Int64": true, "Uint": true, "Uint64": true,
+	"String": true, "Float64": true, "Duration": true,
+	"BoolVar": true, "IntVar": true, "Int64Var": true, "UintVar": true, "Uint64Var": true,
+	"StringVar": true, "Float64Var": true, "DurationVar": true,
+}
+
+// flagName extracts the declared flag name from a flag-registration call,
+// reporting ok=false for any other call expression.
+func flagName(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !flagRegisters[sel.Sel.Name] {
+		return "", false
+	}
+	// The name is the first argument for flag.X / sub.X, the second for
+	// the *Var forms (whose first argument is the pointer).
+	idx := 0
+	if strings.HasSuffix(sel.Sel.Name, "Var") {
+		idx = 1
+	}
+	if len(call.Args) <= idx {
+		return "", false
+	}
+	lit, ok := call.Args[idx].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || len(lit.Value) < 2 {
+		return "", false
+	}
+	return lit.Value[1 : len(lit.Value)-1], true
 }
 
 // checkDir parses every non-test .go file in dir and returns one line per

@@ -1,5 +1,5 @@
-// Command flexlog-cli issues FlexLog API calls (Table 2) against a running
-// TCP deployment.
+// Command flexlog-cli issues FlexLog API calls (Table 2) and control-plane
+// operations (DESIGN.md §15) against a running TCP deployment.
 //
 // Usage:
 //
@@ -7,6 +7,13 @@
 //	flexlog-cli -config cluster.json -id 500 read   -color 0 -sn 4294967297
 //	flexlog-cli -config cluster.json -id 500 subscribe -color 0
 //	flexlog-cli -config cluster.json -id 500 trim   -color 0 -sn 4294967297
+//
+// Reconfiguration (see the OPERATIONS.md runbook for full walkthroughs):
+//
+//	flexlog-cli -config cluster.json -id 500 reconfig status -node 1
+//	flexlog-cli -config cluster.json -id 500 reconfig add-replica -node 4 -donor 1
+//	flexlog-cli -config cluster.json -id 500 reconfig drain -node 3
+//	flexlog-cli -config cluster.json -id 500 reconfig push-topo -node 1 -version 9
 //
 // The id must be a node declared in the manifest that no server uses (a
 // client slot).
@@ -54,6 +61,11 @@ func main() {
 	}
 	book := m.AddressBook()
 	nodeID := types.NodeID(*id)
+
+	if args[0] == "reconfig" {
+		runReconfig(m, topo, book, codec, nodeID, *timeout, args[1:])
+		return
+	}
 
 	// Every CLI invocation is a fresh "function instance": its FID must be
 	// distinct from every other instance that ever appended (Alg. 1 line 6

@@ -45,6 +45,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/lanes, /debug/pprof on this address (e.g. :8080); empty disables observability")
 	codecName := flag.String("codec", "binary", "outbound wire codec: binary (length-prefixed custom framing) or gob (legacy); inbound frames are auto-detected per connection either way")
 	seqWorkers := flag.Int("seq-workers", 4, "sequencer order-lane workers (per-color FIFO; 0 = serialized delivery loop)")
+	autoscale := flag.Bool("autoscale", false, "run the advisory autoscaler: poll this node's metrics against the default policy thresholds and log the reconfiguration it would issue (requires -debug-addr); execute advice with flexlog-cli reconfig")
 	flag.Parse()
 
 	if *example {
@@ -162,7 +163,10 @@ func main() {
 				Registry: reg,
 				Tracers:  r.Tracers(),
 				Lanes:    r.LaneSnapshots,
+				Extra:    startCtrlPlane(topo, nodeID, r, reg, *autoscale),
 			})
+		} else if *autoscale {
+			log.Fatal("-autoscale requires -debug-addr (the autoscaler polls this node's metrics registry)")
 		}
 		leaf := types.MasterColor
 		if sh, err := topo.Shard(role.Shard); err == nil {
@@ -213,7 +217,12 @@ func main() {
 		}
 		s.PublishObs(reg)
 		if reg != nil {
-			startDebugServer(*debugAddr, obs.MuxConfig{Registry: reg})
+			startDebugServer(*debugAddr, obs.MuxConfig{
+				Registry: reg,
+				Extra:    startCtrlPlane(topo, nodeID, nil, reg, *autoscale),
+			})
+		} else if *autoscale {
+			log.Fatal("-autoscale requires -debug-addr (the autoscaler polls this node's metrics registry)")
 		}
 		log.Printf("sequencer %v for region %v (leader=%v, epoch=%d)", nodeID, role.Region, cfg.StartAsLeader, s.Epoch())
 		if epochPath != "" {

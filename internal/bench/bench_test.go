@@ -32,6 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-batch", "ablate-cache", "ablate-readhold",
 		"ablate-clientbatch", "ablate-readpath", "ablate-writepath",
 		"ablate-tiering", "ablate-codec", "ablate-qos", "ablate-seq",
+		"ablate-reconfig",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -553,9 +554,9 @@ func TestAblateCodecShape(t *testing.T) {
 	// The gates compare socket throughput measured in separate time
 	// windows, so a loaded machine (e.g. the whole-repo `go test ./...`
 	// sweep running every package in parallel) can hand one codec a bad
-	// window. Retry once before declaring a regression.
+	// window. Retry before declaring a regression.
 	var err error
-	for attempt := 1; attempt <= 2; attempt++ {
+	for attempt := 1; attempt <= 3; attempt++ {
 		rep := runExperiment(t, "ablate-codec")
 		if err = codecShapeGates(rep); err == nil {
 			return
@@ -665,6 +666,43 @@ func codecShapeGates(rep *Report) error {
 	}
 	if bin1 < 0.75*gob1 {
 		return fmt.Errorf("binary codec regressed the 2-sender stream: binary=%.0fk gob=%.0fk", bin1, gob1)
+	}
+	return nil
+}
+
+func TestAblateReconfigShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("measurement-based shape test skipped under the race detector")
+	}
+	// Three wall-clock windows on a shared machine can each catch a bad
+	// scheduling patch; retry once before declaring a regression.
+	var err error
+	for attempt := 1; attempt <= 2; attempt++ {
+		rep := runExperiment(t, "ablate-reconfig")
+		if err = reconfigShapeGates(rep); err == nil {
+			return
+		}
+		t.Logf("attempt %d: %v", attempt, err)
+	}
+	t.Error(err)
+}
+
+// reconfigShapeGates checks one ablate-reconfig report against the
+// DESIGN.md §15 availability bars: the dip while the split + drain run is
+// bounded (no stall — clients ride typed rejections and re-resolution),
+// and post-split throughput recovers to >= 95% of pre-split.
+func reconfigShapeGates(rep *Report) error {
+	pre, ok1 := rep.Value("append throughput", "pre")
+	during, ok2 := rep.Value("append throughput", "during")
+	post, ok3 := rep.Value("append throughput", "post")
+	if !ok1 || !ok2 || !ok3 || pre <= 0 {
+		return fmt.Errorf("missing phase values: pre=%v during=%v post=%v", pre, during, post)
+	}
+	if during < 0.5*pre {
+		return fmt.Errorf("reconfiguration dip not bounded: during=%.1fk pre=%.1fk (<50%%)", during, pre)
+	}
+	if post < 0.95*pre {
+		return fmt.Errorf("post-split throughput did not recover: post=%.1fk pre=%.1fk (<95%%)", post, pre)
 	}
 	return nil
 }

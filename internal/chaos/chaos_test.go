@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"flexlog/internal/core"
+	"flexlog/internal/ctrlplane"
 	"flexlog/internal/histcheck"
 	"flexlog/internal/qos"
 	"flexlog/internal/types"
@@ -101,6 +102,39 @@ func TestScheduleDeterminism(t *testing.T) {
 			t.Fatal("schedule not sorted by offset")
 		}
 	}
+
+	// The Reconfig variant adds exactly one split (inside the first
+	// partition window) and one drain (during the first leader failover)
+	// WITHOUT perturbing the base schedule: stripping the two control-plane
+	// events must give back the exact base event list.
+	rcfg := cfg
+	rcfg.Reconfig = true
+	r := Generate(42, rcfg)
+	var splits, drains int
+	var stripped []Event
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case EvSplitShard:
+			splits++
+		case EvDrainReplica:
+			drains++
+		default:
+			stripped = append(stripped, ev)
+		}
+	}
+	if splits != 1 || drains != 1 {
+		t.Fatalf("reconfig schedule has %d splits / %d drains, want 1/1", splits, drains)
+	}
+	if !reflect.DeepEqual(stripped, a.Events) {
+		t.Fatal("enabling Reconfig perturbed the base schedule")
+	}
+	for _, ev := range r.Events {
+		if ev.Kind == EvSplitShard || ev.Kind == EvDrainReplica {
+			if ev.At < 0 || ev.At > rcfg.Duration {
+				t.Fatalf("reconfig event %s outside the run window", ev)
+			}
+		}
+	}
 }
 
 // TestChaosSoakShort is the tier-1 smoke soak: a few seconds of seeded
@@ -173,8 +207,15 @@ func runSoak(t *testing.T, seed int64, dur time.Duration) {
 		}
 	}
 
-	sched := Generate(seed, GenConfig{Duration: dur, Replicas: replicas, Colors: colors, Aggressor: aggressorTenant})
+	sched := Generate(seed, GenConfig{Duration: dur, Replicas: replicas, Colors: colors, Aggressor: aggressorTenant, Reconfig: true})
 	eng := NewEngine(cl, sched)
+	// Arm the control-plane nemeses: the soak now splits a shard inside a
+	// partition window and drains a replica during a leader failover, with
+	// the same oracle judging the history.
+	eng.SetController(ctrlplane.New(cl, ctrlplane.Config{
+		PollInterval: 2 * time.Millisecond,
+		DrainTimeout: 5 * time.Second,
+	}))
 
 	failCtx := func(format string, args ...any) {
 		t.Helper()

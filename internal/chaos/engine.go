@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"flexlog/internal/core"
+	"flexlog/internal/ctrlplane"
 	"flexlog/internal/replica"
 	"flexlog/internal/seq"
 	"flexlog/internal/storage"
@@ -29,6 +30,9 @@ type Engine struct {
 
 	noisyCancel context.CancelFunc // running aggressor flood, if any
 	noisyWG     sync.WaitGroup
+
+	ctrl       *ctrlplane.Controller // reconfiguration nemesis target, if any
+	reconfigWG sync.WaitGroup        // in-flight split/drain plans
 }
 
 // NewEngine binds a schedule to a cluster.
@@ -39,6 +43,12 @@ func NewEngine(cl *core.Cluster, sched Schedule) *Engine {
 		killed: make(map[types.ColorID]types.NodeID),
 	}
 }
+
+// SetController arms the reconfiguration nemeses (EvSplitShard,
+// EvDrainReplica); without one they are skipped with a note. Plans run
+// asynchronously — the schedule keeps firing while a drain flushes — and
+// HealAndRecover joins them before judging cluster health.
+func (e *Engine) SetController(c *ctrlplane.Controller) { e.ctrl = c }
 
 // Run applies the schedule in real time, starting now. It returns when
 // the last event fired or the context was cancelled. The network's fault
@@ -164,8 +174,65 @@ func (e *Engine) apply(ev Event) {
 		}
 	case EvNoisyStop:
 		e.stopNoisy()
+	case EvSplitShard:
+		if e.ctrl == nil {
+			e.note(ev, "skipped: no controller")
+			return
+		}
+		e.reconfigWG.Add(1)
+		go func() {
+			defer e.reconfigWG.Done()
+			if plan, err := e.ctrl.SplitShard(ev.Color); err != nil {
+				e.note(ev, fmt.Sprintf("failed: %v", err))
+			} else {
+				e.note(ev, fmt.Sprintf("done: shard=%d", plan.Target))
+			}
+		}()
+		return
+	case EvDrainReplica:
+		if e.ctrl == nil {
+			e.note(ev, "skipped: no controller")
+			return
+		}
+		shard, node, ok := e.drainTarget(ev.Color)
+		if !ok {
+			e.note(ev, "skipped: no drainable replica")
+			return
+		}
+		e.reconfigWG.Add(1)
+		go func() {
+			defer e.reconfigWG.Done()
+			if _, err := e.ctrl.DrainReplica(shard, node); err != nil {
+				e.note(ev, fmt.Sprintf("failed: %v", err))
+			} else {
+				e.note(ev, fmt.Sprintf("done: shard=%d node=%d", shard, node))
+			}
+		}()
+		return
 	}
 	e.note(ev, "")
+}
+
+// drainTarget picks an operational replica to drain from the leaf's
+// shards: the highest-id operational member of the first shard that keeps
+// at least one replica afterwards. Crashed replicas are never drained —
+// they cannot flush pending orders.
+func (e *Engine) drainTarget(leaf types.ColorID) (types.ShardID, types.NodeID, bool) {
+	for _, sh := range e.cl.Topology().ShardsInRegion(leaf) {
+		if len(sh.Replicas) < 2 {
+			continue
+		}
+		var best types.NodeID
+		for _, id := range sh.Replicas {
+			if r := e.cl.Replica(id); r != nil && r.Mode() == replica.ModeOperational && id > best {
+				best = id
+			}
+		}
+		if best != 0 {
+			return sh.ID, best, true
+		}
+	}
+	return 0, 0, false
 }
 
 // startNoisy launches the aggressor flood: two goroutines appending to
@@ -269,6 +336,12 @@ func (e *Engine) HealAndRecover(replicas []types.NodeID, colors []types.ColorID,
 			}
 		}
 	}
+
+	// Join in-flight reconfiguration plans only now: a drain's pending-
+	// order flush may need the just-restarted leader to commit, and the
+	// health check below must see the final membership (a half-drained
+	// node would read as a stuck replica).
+	e.reconfigWG.Wait()
 
 	deadline := time.Now().Add(timeout)
 	for {

@@ -68,6 +68,16 @@ const (
 	EvNoisyStart
 	// EvNoisyStop cancels the aggressor flood.
 	EvNoisyStop
+	// EvSplitShard asks the reconfiguration controller to split leaf
+	// region Color (add a shard) while the nemeses run — scheduled inside
+	// a partition window, so epoch fencing faces a torn fabric. Requires
+	// an Engine controller (Engine.SetController); skipped otherwise.
+	EvSplitShard
+	// EvDrainReplica asks the controller to drain one replica from a
+	// shard of leaf region Color — scheduled right after a leader kill,
+	// so the drain's pending-order flush overlaps a §5.2 failover.
+	// Requires an Engine controller; skipped otherwise.
+	EvDrainReplica
 )
 
 func (k EventKind) String() string {
@@ -100,6 +110,10 @@ func (k EventKind) String() string {
 		return "noisy-start"
 	case EvNoisyStop:
 		return "noisy-stop"
+	case EvSplitShard:
+		return "split-shard"
+	case EvDrainReplica:
+		return "drain-replica"
 	}
 	return "unknown"
 }
@@ -133,6 +147,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%7s %s node=%d", at, e.Kind, e.Node)
 	case EvNoisyStart:
 		return fmt.Sprintf("%7s %s color=%d tenant=%d", at, e.Kind, e.Color, e.Tenant)
+	case EvSplitShard, EvDrainReplica:
+		return fmt.Sprintf("%7s %s color=%d", at, e.Kind, e.Color)
 	}
 	return fmt.Sprintf("%7s %s", at, e.Kind)
 }
@@ -167,6 +183,11 @@ type GenConfig struct {
 	// under. Leave 0 (the default tenant) for an uncapped flood; give a
 	// rate-limited tenant to soak admission control under chaos.
 	Aggressor types.TenantID
+	// Reconfig adds the control-plane nemeses: a shard split scheduled
+	// inside a partition window and a replica drain scheduled during a
+	// leader failover. The engine needs a controller (SetController) to
+	// apply them. Off by default so existing schedules replay unchanged.
+	Reconfig bool
 }
 
 // Generate derives a schedule from the seed. Same seed and config in,
@@ -292,6 +313,32 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 			cursor += down
 		}
 		cursor += ms(150, 400)
+	}
+
+	// Control-plane nemeses (DESIGN.md §15): reconfigure while the fabric
+	// is already hostile. The split lands just inside the first partition
+	// window (epoch fencing vs a torn fabric); the drain lands just after
+	// the first leader kill (pending-order flush vs a §5.2 failover).
+	// Drawn AFTER the structural loop so enabling Reconfig never perturbs
+	// the base schedule's rng stream.
+	if cfg.Reconfig && len(cfg.Colors) > 0 {
+		splitAt, drainAt := frac(0.30), frac(0.60)
+		for _, ev := range evs {
+			if ev.Kind == EvPartition {
+				splitAt = ev.At + 2*time.Millisecond
+				break
+			}
+		}
+		for _, ev := range evs {
+			if ev.Kind == EvKillLeader {
+				drainAt = ev.At + 10*time.Millisecond
+				break
+			}
+		}
+		evs = append(evs,
+			Event{At: splitAt, Kind: EvSplitShard, Color: cfg.Colors[rng.Intn(len(cfg.Colors))]},
+			Event{At: drainAt, Kind: EvDrainReplica, Color: cfg.Colors[rng.Intn(len(cfg.Colors))]},
+		)
 	}
 
 	sortEvents(evs)

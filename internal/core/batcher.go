@@ -311,7 +311,11 @@ func (b *shardBatcher) cut() (items []*pendingAppend, recs, bytes int) {
 func (b *shardBatcher) flush(items []*pendingAppend, recs, bytes int) {
 	c := b.c
 	token := c.nextToken()
-	w := &appendWait{needed: make(map[types.NodeID]bool, len(b.shard.Replicas)), done: make(chan struct{})}
+	w := &appendWait{
+		needed: make(map[types.NodeID]bool, len(b.shard.Replicas)),
+		acked:  make(map[types.NodeID]bool, len(b.shard.Replicas)),
+		done:   make(chan struct{}),
+	}
 	for _, id := range b.shard.Replicas {
 		w.needed[id] = true
 	}
@@ -368,7 +372,36 @@ func (b *shardBatcher) await(token types.Token, w *appendWait, req proto.AppendB
 				b.fail(items, fmt.Errorf("%w: batched append %v to %v", ErrTimeout, token, b.color))
 				return
 			}
-			c.ep.Broadcast(b.shard.Replicas, req)
+			// Epoch fencing, as on the unbatched path: rebuild the ack
+			// barrier from the shard's current membership minus prior
+			// responders before re-broadcasting. A removed shard fails the
+			// batch with the typed retryable rejection.
+			cur, err := c.topo.Shard(b.shard.ID)
+			if err != nil {
+				b.fail(items, fmt.Errorf("%w: shard %v removed during batched append %v", ErrReconfiguring, b.shard.ID, token))
+				return
+			}
+			c.mu.Lock()
+			if !w.closed {
+				clear(w.needed)
+				for _, id := range cur.Replicas {
+					if !w.acked[id] {
+						w.needed[id] = true
+					}
+				}
+				if len(w.needed) == 0 {
+					w.closed = true
+					close(w.done)
+				}
+			}
+			c.mu.Unlock()
+			select {
+			case <-w.done:
+				b.complete(items, recs, w.sn)
+				return
+			default:
+			}
+			c.ep.Broadcast(cur.Replicas, req)
 		case <-c.closedCh:
 			b.fail(items, ErrClosed)
 			return

@@ -67,6 +67,15 @@ var (
 	// it. Like ErrOverloaded it is retried internally with the server's
 	// retry-after hint and surfaces only past the deadline.
 	ErrThrottled = errors.New("flexlog: tenant rate limit exceeded")
+	// ErrReconfiguring is the control plane's typed rejection: the target
+	// replica is draining (or its whole shard is being merged away) and no
+	// longer accepts appends. Retryable — the client re-resolves the
+	// topology on every retry tick, so an append normally completes against
+	// the post-reconfiguration membership; the error surfaces only when the
+	// shard disappears mid-operation or the reconfiguration outlasts the
+	// deadline. Callers retry with a fresh append (the usual §6.3
+	// re-execution), which lands on the surviving shards.
+	ErrReconfiguring = errors.New("flexlog: shard reconfiguring")
 )
 
 // ClientConfig parameterizes a client handle.
@@ -145,8 +154,9 @@ type ColorAdder interface {
 
 type appendWait struct {
 	needed map[types.NodeID]bool
+	acked  map[types.NodeID]bool // responders so far, kept across membership changes
 	sn     types.SN
-	rej    error         // last QoS rejection cause (ErrThrottled/ErrOverloaded)
+	rej    error         // last QoS rejection cause (ErrThrottled/ErrOverloaded/ErrReconfiguring)
 	hint   time.Duration // server retry-after hint; consumed by the retry loop
 	done   chan struct{}
 	closed bool
@@ -301,6 +311,7 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 		// must not touch w.sn while the waiter is reading it.
 		if w != nil && !w.closed {
 			delete(w.needed, from)
+			w.acked[from] = true
 			if m.SN.Valid() {
 				w.sn = m.SN
 			}
@@ -345,8 +356,11 @@ func (c *Client) handle(from types.NodeID, msg transport.Message) {
 		// the retry loops wait max(hint, backoff) before re-driving and
 		// surface the cause if the deadline passes first.
 		cause := ErrOverloaded
-		if m.Code == proto.RejectThrottled {
+		switch m.Code {
+		case proto.RejectThrottled:
 			cause = ErrThrottled
+		case proto.RejectReconfiguring:
+			cause = ErrReconfiguring
 		}
 		c.mu.Lock()
 		if !m.IsRead {
@@ -490,7 +504,11 @@ func (c *Client) AsyncAppend(records [][]byte, color types.ColorID) *AppendFutur
 // returns the assigned SN together with the token used.
 func (c *Client) appendToShard(ctx context.Context, records [][]byte, color types.ColorID, shard topology.ShardInfo) (types.SN, types.Token, error) {
 	token := c.nextToken()
-	w := &appendWait{needed: make(map[types.NodeID]bool, len(shard.Replicas)), done: make(chan struct{})}
+	w := &appendWait{
+		needed: make(map[types.NodeID]bool, len(shard.Replicas)),
+		acked:  make(map[types.NodeID]bool, len(shard.Replicas)),
+		done:   make(chan struct{}),
+	}
 	for _, id := range shard.Replicas {
 		w.needed[id] = true
 	}
@@ -540,6 +558,44 @@ func (c *Client) appendToShard(ctx context.Context, records [][]byte, color type
 					}
 				}
 				return types.InvalidSN, token, fmt.Errorf("%w: append %v to %v", ErrTimeout, token, color)
+			}
+			// Epoch fencing: the shard's membership may have changed under
+			// this append (replica drained out, or a caught-up replica
+			// promoted in). Re-resolve before re-broadcasting and rebuild
+			// the ack barrier as the CURRENT members minus those that
+			// already acked — a departed replica can no longer wedge the
+			// wait, a newly promoted one must ack before completion. A
+			// shard removed outright (merge cutover) surfaces the typed
+			// retryable rejection.
+			cur, err := c.topo.Shard(shard.ID)
+			if err != nil {
+				c.mu.Lock()
+				hint := w.hint
+				c.mu.Unlock()
+				return types.InvalidSN, token, &RetryAfterError{
+					Err:   fmt.Errorf("%w: shard %v removed during append %v to %v", ErrReconfiguring, shard.ID, token, color),
+					After: hint,
+				}
+			}
+			shard = cur
+			c.mu.Lock()
+			if !w.closed {
+				clear(w.needed)
+				for _, id := range cur.Replicas {
+					if !w.acked[id] {
+						w.needed[id] = true
+					}
+				}
+				if len(w.needed) == 0 {
+					w.closed = true
+					close(w.done)
+				}
+			}
+			c.mu.Unlock()
+			select {
+			case <-w.done:
+				return w.sn, token, nil
+			default:
 			}
 		}
 	}
@@ -602,7 +658,13 @@ func (c *Client) ReadCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 		}
 		hint = retryAfterHint(err)
 		// Retry against (probably) different replicas — the paper's §6.3
-		// "forces the FaaS application to re-execute the read".
+		// "forces the FaaS application to re-execute the read" — and
+		// against the CURRENT shard set: a shard split mid-read must be
+		// consulted in the next round (the record may land there), a
+		// merged-away shard must not wedge it (epoch fencing).
+		if cur := c.topo.ShardsInRegion(color); len(cur) > 0 {
+			shards = cur
+		}
 	}
 }
 
@@ -722,6 +784,12 @@ func (c *Client) Subscribe(color types.ColorID, from types.SN) ([]types.Record, 
 	deadline := time.Now().Add(c.cfg.Timeout)
 	bo := c.newBackoff()
 	for {
+		// Re-resolve the shard set every round: a split adds a shard whose
+		// records the merge must include; a merged-away shard must not be
+		// waited on (epoch fencing).
+		if cur := c.topo.ShardsInRegion(color); len(cur) > 0 {
+			shards = cur
+		}
 		id := c.reqSeq.Add(1)
 		w := &subWait{waiting: len(shards), seen: make(map[types.NodeID]bool, len(shards)), done: make(chan struct{})}
 		c.mu.Lock()
@@ -852,6 +920,47 @@ func (c *Client) TrimCtx(ctx context.Context, sn types.SN, color types.ColorID) 
 			if time.Now().After(deadline) {
 				return 0, 0, opError("trim", color, sn, fmt.Errorf("%w: trim %v of %v", ErrTimeout, sn, color))
 			}
+			// Epoch fencing: a replica drained out of the region can no
+			// longer acknowledge — shrink the barrier to the surviving
+			// intersection so the trim completes. (Replicas promoted after
+			// the trim started adopt the frontier via their sync-phase; the
+			// barrier only ever shrinks.)
+			curSet := make(map[types.NodeID]bool)
+			for _, id := range c.topo.ReplicasInRegion(color) {
+				curSet[id] = true
+			}
+			survivors := replicas[:0:0]
+			for _, rid := range replicas {
+				if curSet[rid] {
+					survivors = append(survivors, rid)
+				}
+			}
+			if len(survivors) == len(replicas) {
+				continue
+			}
+			c.mu.Lock()
+			if !w.closed {
+				for _, rid := range replicas {
+					if !curSet[rid] && !w.seen[rid] {
+						w.seen[rid] = true
+						w.waiting--
+					}
+				}
+				if w.waiting <= 0 {
+					w.closed = true
+					close(w.done)
+				}
+			}
+			c.mu.Unlock()
+			replicas = survivors
+			select {
+			case <-w.done:
+				return w.head, w.tail, nil
+			default:
+			}
+			if len(replicas) == 0 {
+				return 0, 0, opError("trim", color, sn, fmt.Errorf("%w: region %v replicas all reconfigured away", ErrReconfiguring, color))
+			}
 		}
 	}
 }
@@ -927,6 +1036,11 @@ func (c *Client) MultiAppendCtx(ctx context.Context, sets [][][]byte, colors []t
 		case <-time.After(bo.next()):
 			if time.Now().After(deadline) {
 				return opError("multi-append", special, types.InvalidSN, fmt.Errorf("%w: multi-append", ErrTimeout))
+			}
+			// Epoch fencing: re-resolve the broker shard so the end marker
+			// reaches its current membership (any broker replica may ack).
+			if cur, err := c.topo.Shard(shard.ID); err == nil {
+				shard = cur
 			}
 		}
 	}

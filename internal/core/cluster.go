@@ -250,32 +250,76 @@ func (cl *Cluster) AddShardWithReplicas(leaf types.ColorID, replicas int) (types
 		return 0, err
 	}
 	for _, id := range ids {
-		rcfg := replica.DefaultConfig()
-		rcfg.ID = id
-		rcfg.Shard = shardID
-		rcfg.Topo = cl.topo
-		rcfg.Store = cl.cfg.Storage
-		rcfg.Store.GroupCommit = cl.cfg.GroupCommit
-		rcfg.ReadHoldTimeout = cl.cfg.ReadHoldTimeout
-		rcfg.ReadWorkers = cl.cfg.ReadWorkers
-		rcfg.WriteWorkers = cl.cfg.WriteWorkers
-		rcfg.OrderCoalesce = cl.cfg.OrderCoalesce
-		rcfg.OrderBatchInterval = cl.cfg.OrderBatchInterval
-		rcfg.HeartbeatInterval = cl.cfg.HeartbeatInterval
-		rcfg.RetryTimeout = cl.cfg.RetryTimeout
-		rcfg.Obs = cl.cfg.Obs
-		rcfg.TraceSlow = cl.cfg.TraceSlow
-		rcfg.TraceRing = cl.cfg.TraceRing
-		rcfg.Tenants = cl.cfg.Tenants
-		r, err := replica.New(rcfg, cl.net)
-		if err != nil {
+		if _, err := cl.buildReplica(id, shardID); err != nil {
 			return 0, err
 		}
-		cl.mu.Lock()
-		cl.replicas[id] = r
-		cl.mu.Unlock()
 	}
 	return shardID, nil
+}
+
+// buildReplica constructs one replica process from the cluster config and
+// registers it; it does NOT touch the topology.
+func (cl *Cluster) buildReplica(id types.NodeID, shardID types.ShardID) (*replica.Replica, error) {
+	rcfg := replica.DefaultConfig()
+	rcfg.ID = id
+	rcfg.Shard = shardID
+	rcfg.Topo = cl.topo
+	rcfg.Store = cl.cfg.Storage
+	rcfg.Store.GroupCommit = cl.cfg.GroupCommit
+	rcfg.ReadHoldTimeout = cl.cfg.ReadHoldTimeout
+	rcfg.ReadWorkers = cl.cfg.ReadWorkers
+	rcfg.WriteWorkers = cl.cfg.WriteWorkers
+	rcfg.OrderCoalesce = cl.cfg.OrderCoalesce
+	rcfg.OrderBatchInterval = cl.cfg.OrderBatchInterval
+	rcfg.HeartbeatInterval = cl.cfg.HeartbeatInterval
+	rcfg.RetryTimeout = cl.cfg.RetryTimeout
+	rcfg.Obs = cl.cfg.Obs
+	rcfg.TraceSlow = cl.cfg.TraceSlow
+	rcfg.TraceRing = cl.cfg.TraceRing
+	rcfg.Tenants = cl.cfg.Tenants
+	r, err := replica.New(rcfg, cl.net)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	cl.replicas[id] = r
+	cl.mu.Unlock()
+	return r, nil
+}
+
+// SpawnReplica creates a replica process for a shard WITHOUT adding it to
+// the shard's membership — step one of the control plane's replica-add
+// (DESIGN.md §15). Clients cannot address the node until the controller
+// promotes it into the topology; until then it catches up from a donor.
+func (cl *Cluster) SpawnReplica(shard types.ShardID) (types.NodeID, error) {
+	if _, err := cl.topo.Shard(shard); err != nil {
+		return 0, err
+	}
+	cl.mu.Lock()
+	id := cl.nextRepl
+	cl.nextRepl++
+	cl.mu.Unlock()
+	if _, err := cl.buildReplica(id, shard); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// RemoveReplicaNode stops a replica process and releases its resources —
+// the final cutover of a drain, or the rollback of an abandoned join. The
+// caller must already have removed the node from the topology.
+func (cl *Cluster) RemoveReplicaNode(id types.NodeID) error {
+	cl.mu.Lock()
+	r := cl.replicas[id]
+	delete(cl.replicas, id)
+	cl.mu.Unlock()
+	if r == nil {
+		return fmt.Errorf("core: unknown replica %v", id)
+	}
+	r.Stop()
+	cl.net.Deregister(id)
+	r.Store().Close()
+	return nil
 }
 
 // AddColor provisions a new colored region under parent with one shard —

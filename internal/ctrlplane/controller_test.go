@@ -1,0 +1,336 @@
+package ctrlplane_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flexlog/internal/core"
+	"flexlog/internal/ctrlplane"
+	"flexlog/internal/obs"
+	"flexlog/internal/types"
+)
+
+func newCluster(t *testing.T, shards int) *core.Cluster {
+	t.Helper()
+	cl, err := core.SimpleCluster(core.TestClusterConfig(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	return cl
+}
+
+func newController(cl *core.Cluster, reg *obs.Registry) *ctrlplane.Controller {
+	return ctrlplane.New(cl, ctrlplane.Config{
+		PollInterval:   time.Millisecond,
+		PromoteLag:     64,
+		CatchupTimeout: 10 * time.Second,
+		DrainTimeout:   5 * time.Second,
+		Obs:            reg,
+	})
+}
+
+func appendN(t *testing.T, c *core.Client, color types.ColorID, n int) []types.SN {
+	t.Helper()
+	sns := make([]types.SN, 0, n)
+	for i := 0; i < n; i++ {
+		sn, err := c.Append([][]byte{[]byte(fmt.Sprintf("rec-%d-%d", color, i))}, color)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		sns = append(sns, sn)
+	}
+	return sns
+}
+
+func TestAddReplicaCatchesUpAndPromotes(t *testing.T) {
+	cl := newCluster(t, 1)
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, c, types.MasterColor, 200)
+
+	ctrl := newController(cl, nil)
+	sh := cl.Topology().Snapshot().Shards[0]
+	before := len(sh.Replicas)
+
+	plan, err := ctrl.AddReplica(sh.ID)
+	if err != nil {
+		t.Fatalf("AddReplica: %v (plan %v)", err, plan)
+	}
+	if plan.State != ctrlplane.StateDone {
+		t.Fatalf("plan state = %v, want done", plan.State)
+	}
+	after, err := cl.Topology().Shard(sh.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Replicas) != before+1 {
+		t.Fatalf("shard has %d replicas, want %d", len(after.Replicas), before+1)
+	}
+
+	// The promoted replica must hold the full committed history: its commit
+	// frontier matches the donor's.
+	donor := cl.Replica(plan.Donor)
+	joined := cl.Replica(plan.Node)
+	if joined == nil {
+		t.Fatal("joined replica not found")
+	}
+	want := donor.Store().MaxSN(types.MasterColor)
+	if got := joined.Store().MaxSN(types.MasterColor); got != want {
+		t.Fatalf("joined replica frontier %v, donor %v", got, want)
+	}
+
+	// And the widened shard keeps serving appends (the client needs acks
+	// from ALL members, including the new one).
+	appendN(t, c, types.MasterColor, 20)
+}
+
+func TestDrainReplicaFlushesAndRemoves(t *testing.T) {
+	cl := newCluster(t, 1)
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, c, types.MasterColor, 50)
+
+	ctrl := newController(cl, nil)
+	sh := cl.Topology().Snapshot().Shards[0]
+	before := len(sh.Replicas)
+
+	plan, err := ctrl.DrainReplica(sh.ID, 0)
+	if err != nil {
+		t.Fatalf("DrainReplica: %v (plan %v)", err, plan)
+	}
+	after, err := cl.Topology().Shard(sh.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Replicas) != before-1 {
+		t.Fatalf("shard has %d replicas, want %d", len(after.Replicas), before-1)
+	}
+	if cl.Replica(plan.Node) != nil {
+		t.Fatalf("drained replica %d still registered", plan.Node)
+	}
+	// Acked history survives on the remaining members.
+	sns := appendN(t, c, types.MasterColor, 20)
+	if _, err := c.Read(sns[len(sns)-1], types.MasterColor); err != nil {
+		t.Fatalf("read after drain: %v", err)
+	}
+}
+
+func TestDrainLastReplicaRefused(t *testing.T) {
+	cl := newCluster(t, 1)
+	ctrl := newController(cl, nil)
+	sh := cl.Topology().Snapshot().Shards[0]
+	for i := 0; i < len(sh.Replicas)-1; i++ {
+		if _, err := ctrl.DrainReplica(sh.ID, 0); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+	}
+	if _, err := ctrl.DrainReplica(sh.ID, 0); err == nil {
+		t.Fatal("draining the last replica should fail")
+	}
+}
+
+func TestSplitShardKeepsHistoryReadable(t *testing.T) {
+	cl := newCluster(t, 1)
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := appendN(t, c, types.MasterColor, 30)
+
+	ctrl := newController(cl, nil)
+	plan, err := ctrl.SplitShard(types.MasterColor)
+	if err != nil {
+		t.Fatalf("SplitShard: %v", err)
+	}
+	if plan.State != ctrlplane.StateDone || plan.Target == 0 {
+		t.Fatalf("plan = %v", plan)
+	}
+	if got := len(cl.Topology().ShardsInRegion(types.MasterColor)); got != 2 {
+		t.Fatalf("%d shards after split, want 2", got)
+	}
+	// Old records remain readable (reads consult every shard) and new
+	// appends land somewhere.
+	for _, sn := range pre {
+		if _, err := c.Read(sn, types.MasterColor); err != nil {
+			t.Fatalf("read %v after split: %v", sn, err)
+		}
+	}
+	appendN(t, c, types.MasterColor, 30)
+}
+
+func TestMergeShardMigratesRecords(t *testing.T) {
+	cl := newCluster(t, 2)
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread records across both shards (random shard choice per append).
+	pre := appendN(t, c, types.MasterColor, 60)
+
+	shards := cl.Topology().Snapshot().Shards
+	if len(shards) != 2 {
+		t.Fatalf("want 2 shards, got %d", len(shards))
+	}
+	ctrl := newController(cl, nil)
+	plan, err := ctrl.MergeShard(shards[0].ID, shards[1].ID)
+	if err != nil {
+		t.Fatalf("MergeShard: %v (plan %v)", err, plan)
+	}
+	if got := len(cl.Topology().ShardsInRegion(types.MasterColor)); got != 1 {
+		t.Fatalf("%d shards after merge, want 1", got)
+	}
+	for _, id := range shards[0].Replicas {
+		if cl.Replica(id) != nil {
+			t.Fatalf("source replica %d still registered", id)
+		}
+	}
+	// Every pre-merge record is still readable from the surviving shard.
+	for _, sn := range pre {
+		if _, err := c.Read(sn, types.MasterColor); err != nil {
+			t.Fatalf("read %v after merge: %v", sn, err)
+		}
+	}
+	appendN(t, c, types.MasterColor, 20)
+}
+
+func TestAddRegionMakesColorServable(t *testing.T) {
+	cl := newCluster(t, 1)
+	ctrl := newController(cl, nil)
+	plan, err := ctrl.AddRegion(7, types.MasterColor)
+	if err != nil {
+		t.Fatalf("AddRegion: %v", err)
+	}
+	if plan.State != ctrlplane.StateDone {
+		t.Fatalf("plan = %v", plan)
+	}
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := c.Append([][]byte{[]byte("colored")}, 7)
+	if err != nil {
+		t.Fatalf("append to new region: %v", err)
+	}
+	if _, err := c.Read(sn, 7); err != nil {
+		t.Fatalf("read from new region: %v", err)
+	}
+}
+
+func TestPlanObservabilityAndHistory(t *testing.T) {
+	cl := newCluster(t, 1)
+	reg := obs.NewRegistry()
+	ctrl := newController(cl, reg)
+	if _, err := ctrl.SplitShard(types.MasterColor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.SplitShard(99); err == nil { // unknown leaf
+		t.Fatal("split of unknown leaf should fail")
+	}
+	plans := ctrl.Plans()
+	if len(plans) != 2 {
+		t.Fatalf("%d plans, want 2", len(plans))
+	}
+	if plans[0].State != ctrlplane.StateDone || plans[1].State != ctrlplane.StateFailed {
+		t.Fatalf("plan states = %v, %v", plans[0].State, plans[1].State)
+	}
+	if got := reg.SumCounter("flexlog_ctrl_plans_total"); got != 2 {
+		t.Fatalf("plans_total = %d, want 2", got)
+	}
+	if got := reg.SumCounter("flexlog_ctrl_plans_done_total"); got != 1 {
+		t.Fatalf("plans_done_total = %d, want 1", got)
+	}
+	if got := reg.SumCounter("flexlog_ctrl_plans_failed_total"); got != 1 {
+		t.Fatalf("plans_failed_total = %d, want 1", got)
+	}
+	if got := reg.MaxGauge("flexlog_ctrl_plans_active"); got != 0 {
+		t.Fatalf("plans_active = %v, want 0", got)
+	}
+}
+
+func TestTopologyHandler(t *testing.T) {
+	cl := newCluster(t, 2)
+	ctrl := newController(cl, nil)
+	if _, err := ctrl.SplitShard(types.MasterColor); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	ctrlplane.TopologyHandler(ctrl).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/topology", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"topology version", "SHARD", "split-shard", "state=done"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug/topology missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestAutoscalerPolicy(t *testing.T) {
+	cl := newCluster(t, 1)
+	ctrl := newController(cl, nil)
+	node := cl.Topology().Snapshot().Shards[0].Replicas[0]
+
+	// A private registry with a synthetic backlog gauge stands in for a
+	// write-saturated replica.
+	reg := obs.NewRegistry()
+	backlog := 0.0
+	reg.GaugeFunc("flexlog_replica_pending_orders", "test", obs.Labels{"node": fmt.Sprintf("%d", node)},
+		func() float64 { return backlog })
+
+	as := ctrlplane.NewAutoscaler(ctrl, reg, ctrlplane.Policy{
+		MaxPendingOrders: 100,
+		Advisory:         true,
+	}, time.Hour)
+
+	if adv := as.Evaluate(); adv != nil {
+		t.Fatalf("advice below threshold: %+v", adv)
+	}
+	backlog = 500
+	adv := as.Evaluate()
+	if adv == nil {
+		t.Fatal("no advice above threshold")
+	}
+	if adv.Kind != ctrlplane.KindSplitShard {
+		t.Fatalf("advice kind = %v, want split-shard (leaf below shard cap)", adv.Kind)
+	}
+	if adv.Executed {
+		t.Fatal("advisory mode must not execute")
+	}
+	if got := len(cl.Topology().ShardsInRegion(types.MasterColor)); got != 1 {
+		t.Fatalf("advisory mode split the shard: %d shards", got)
+	}
+	if got := reg.SumCounter("flexlog_ctrl_autoscale_evals_total"); got != 2 {
+		t.Fatalf("evals_total = %d, want 2", got)
+	}
+	if got := reg.SumCounter("flexlog_ctrl_autoscale_actions_total"); got != 1 {
+		t.Fatalf("actions_total = %d, want 1", got)
+	}
+}
+
+func TestAutoscalerExecutesSplit(t *testing.T) {
+	cl := newCluster(t, 1)
+	ctrl := newController(cl, nil)
+	node := cl.Topology().Snapshot().Shards[0].Replicas[0]
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("flexlog_replica_pending_orders", "test", obs.Labels{"node": fmt.Sprintf("%d", node)},
+		func() float64 { return 1000 })
+	as := ctrlplane.NewAutoscaler(ctrl, reg, ctrlplane.Policy{MaxPendingOrders: 100}, time.Hour)
+
+	adv := as.Evaluate()
+	if adv == nil || !adv.Executed {
+		t.Fatalf("expected executed advice, got %+v", adv)
+	}
+	if got := len(cl.Topology().ShardsInRegion(types.MasterColor)); got != 2 {
+		t.Fatalf("%d shards after autoscale, want 2", got)
+	}
+	// Cooldown: the still-breaching gauge must not trigger a second action.
+	if adv := as.Evaluate(); adv != nil {
+		t.Fatalf("action during cooldown: %+v", adv)
+	}
+}

@@ -1,0 +1,65 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"flexlog/internal/replica"
+)
+
+// TopologyHandler serves /debug/topology: the current layout (version,
+// sequencer tree, shards with per-replica mode and reconfiguration lag)
+// followed by the plan history — the first page of the reconfiguration
+// runbook (OPERATIONS.md). Mount it via obs.MuxConfig.Extra.
+func TopologyHandler(c *Controller) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		topo := c.cl.Topology()
+		snap := topo.Snapshot()
+		fmt.Fprintf(w, "# topology version %d\n\n", snap.Version)
+
+		fmt.Fprintf(w, "%-8s %-8s %-8s %-8s %s\n", "COLOR", "PARENT", "ROOT", "LEADER", "MEMBERS")
+		sort.Slice(snap.Regions, func(i, j int) bool { return snap.Regions[i].Region < snap.Regions[j].Region })
+		for _, r := range snap.Regions {
+			parent := "-"
+			if !r.IsRoot {
+				parent = fmt.Sprintf("%d", r.Parent)
+			}
+			fmt.Fprintf(w, "%-8d %-8s %-8v %-8d %v\n", r.Region, parent, r.IsRoot, r.Leader, r.Members)
+		}
+
+		fmt.Fprintf(w, "\n%-8s %-8s %s\n", "SHARD", "LEAF", "REPLICAS (id:mode[:lag])")
+		sort.Slice(snap.Shards, func(i, j int) bool { return snap.Shards[i].ID < snap.Shards[j].ID })
+		for _, sh := range snap.Shards {
+			fmt.Fprintf(w, "%-8d %-8d ", sh.ID, sh.Leaf)
+			for i, id := range sh.Replicas {
+				if i > 0 {
+					fmt.Fprint(w, " ")
+				}
+				rep := c.cl.Replica(id)
+				if rep == nil {
+					// Not locally inspectable: removed from the in-process
+					// cluster, or (on a server) a remote process.
+					fmt.Fprintf(w, "%d:-", id)
+					continue
+				}
+				mode := rep.Mode()
+				fmt.Fprintf(w, "%d:%s", id, mode)
+				switch mode {
+				case replica.ModeJoining:
+					fmt.Fprintf(w, ":lag=%d", rep.JoinLag())
+				case replica.ModeDraining:
+					fmt.Fprintf(w, ":pending=%d", rep.PendingOrders())
+				}
+			}
+			fmt.Fprintln(w)
+		}
+
+		plans := c.Plans()
+		fmt.Fprintf(w, "\n# %d reconfiguration plans (oldest first)\n", len(plans))
+		for i := range plans {
+			fmt.Fprintln(w, plans[i].String())
+		}
+	})
+}

@@ -30,6 +30,18 @@ type Manifest struct {
 	// list runs the cluster without admission control or weighted-fair
 	// lanes, the pre-QoS behavior).
 	Tenants []TenantSpec `json:"tenants,omitempty"`
+	// Spares declare replica processes that run configured for a shard but
+	// OUTSIDE its membership: clients never address them, and they serve
+	// nothing until a `flexlog-cli reconfig add-replica` catches them up
+	// and the widened membership is pushed (OPERATIONS.md runbook).
+	Spares []SpareSpec `json:"spares,omitempty"`
+}
+
+// SpareSpec is one standby replica: a node with an address and a target
+// shard, deliberately absent from that shard's replica list.
+type SpareSpec struct {
+	ID    types.NodeID  `json:"id"`
+	Shard types.ShardID `json:"shard"`
 }
 
 // TenantSpec is one tenant's QoS declaration.
@@ -138,6 +150,26 @@ func (m *Manifest) Validate() error {
 			}
 		}
 	}
+	spares := make(map[types.NodeID]bool)
+	for _, sp := range m.Spares {
+		if err := known(sp.ID); err != nil {
+			return err
+		}
+		if !shardIDs[sp.Shard] {
+			return fmt.Errorf("deploy: spare %v references undeclared shard %v", sp.ID, sp.Shard)
+		}
+		if spares[sp.ID] {
+			return fmt.Errorf("deploy: duplicate spare %v", sp.ID)
+		}
+		spares[sp.ID] = true
+		for _, s := range m.Shards {
+			for _, r := range s.Replicas {
+				if r == sp.ID {
+					return fmt.Errorf("deploy: spare %v is already a member of shard %v — a spare must start outside the membership", sp.ID, s.ID)
+				}
+			}
+		}
+	}
 	tenants := make(map[types.TenantID]bool)
 	for _, t := range m.Tenants {
 		if tenants[t.ID] {
@@ -204,13 +236,20 @@ type Role struct {
 	Region types.ColorID
 }
 
-// RoleOf resolves a node id's role.
+// RoleOf resolves a node id's role. A spare resolves to "replica" for its
+// target shard — the process runs identically; only the topology's
+// membership (which it is not in) distinguishes it until promotion.
 func (m *Manifest) RoleOf(id types.NodeID) Role {
 	for _, s := range m.Shards {
 		for _, r := range s.Replicas {
 			if r == id {
 				return Role{Kind: "replica", Shard: s.ID}
 			}
+		}
+	}
+	for _, sp := range m.Spares {
+		if sp.ID == id {
+			return Role{Kind: "replica", Shard: sp.Shard}
 		}
 	}
 	for _, r := range m.Regions {
@@ -247,6 +286,7 @@ func Example() *Manifest {
 			1:   "127.0.0.1:7101",
 			2:   "127.0.0.1:7102",
 			3:   "127.0.0.1:7103",
+			4:   "127.0.0.1:7104",
 			900: "127.0.0.1:7900",
 			901: "127.0.0.1:7901",
 			902: "127.0.0.1:7902",
@@ -263,6 +303,12 @@ func Example() *Manifest {
 		Tenants: []TenantSpec{
 			{ID: 1, Weight: 3},
 			{ID: 2, Weight: 1, Rate: 50_000, Burst: 10_000},
+		},
+		// Node 4 is a standby for shard 1: it runs but serves nothing
+		// until `flexlog-cli reconfig add-replica` promotes it (see the
+		// OPERATIONS.md reconfiguration runbook).
+		Spares: []SpareSpec{
+			{ID: 4, Shard: 1},
 		},
 	}
 }

@@ -66,6 +66,10 @@ func TestValidationRejects(t *testing.T) {
 		"orphan parent": func(m *Manifest) {
 			m.Regions = append(m.Regions, RegionSpec{Color: 5, Parent: 42, Leader: 900})
 		},
+		"unknown spare":        func(m *Manifest) { m.Spares = []SpareSpec{{ID: 999, Shard: 1}} },
+		"spare orphan shard":   func(m *Manifest) { m.Spares = []SpareSpec{{ID: 4, Shard: 42}} },
+		"duplicate spare":      func(m *Manifest) { m.Spares = []SpareSpec{{ID: 4, Shard: 1}, {ID: 4, Shard: 1}} },
+		"spare already member": func(m *Manifest) { m.Spares = []SpareSpec{{ID: 1, Shard: 1}} },
 	}
 	for name, mutate := range cases {
 		m := Example()
@@ -89,6 +93,24 @@ func TestRoleOf(t *testing.T) {
 	}
 	if r := m.RoleOf(12345); r.Kind != "unknown" {
 		t.Fatalf("role of 12345 = %+v", r)
+	}
+	// The example's spare runs as a replica for its target shard, but the
+	// topology must NOT list it as a member until it is promoted.
+	if r := m.RoleOf(4); r.Kind != "replica" || r.Shard != 1 {
+		t.Fatalf("role of spare 4 = %+v", r)
+	}
+	topo, err := m.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := topo.Shard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range sh.Replicas {
+		if id == 4 {
+			t.Fatal("spare 4 leaked into shard 1's membership")
+		}
 	}
 }
 

@@ -41,6 +41,9 @@ type MuxConfig struct {
 	Tracers []*Tracer
 	// Lanes backs /debug/lanes; nil serves an empty table.
 	Lanes func() []LaneSnapshot
+	// Extra mounts additional handlers by path (e.g. /debug/topology from
+	// the control plane); paths here must not collide with the built-ins.
+	Extra map[string]http.Handler
 }
 
 // NewMux builds the debug mux: /metrics (Prometheus text), /debug/traces
@@ -78,6 +81,9 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 				l.Busy.Round(time.Microsecond), l.Drops, l.Shed)
 		}
 	})
+	for path, h := range cfg.Extra {
+		mux.Handle(path, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -296,6 +296,98 @@ func (r *Registry) Families() []string {
 	return out
 }
 
+// Sample is one instance's scraped value, as returned by the query API the
+// autoscaler polls (DESIGN.md §15): the pre-rendered label body (the text
+// between the braces in the exposition) plus the value.
+type Sample struct {
+	Labels string
+	Value  float64
+}
+
+// Samples scrapes every instance of the named counter or gauge family.
+// Counters include their func-backed component; histogram families return
+// nil (use MaxQuantile). Nil registry or unknown family returns nil.
+func (r *Registry) Samples(name string) []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Sample
+	for _, key := range f.order {
+		in := f.byKey[key]
+		switch f.kind {
+		case KindCounter:
+			v := in.counter.Value()
+			if in.counterFn != nil {
+				v += in.counterFn()
+			}
+			out = append(out, Sample{Labels: in.labels, Value: float64(v)})
+		case KindGauge:
+			if in.gaugeFn != nil {
+				out = append(out, Sample{Labels: in.labels, Value: in.gaugeFn()})
+			}
+		}
+	}
+	return out
+}
+
+// MaxGauge returns the largest instance value of a gauge family — the
+// busiest-node view a scale-up policy thresholds on. Zero when the family
+// is unknown or empty.
+func (r *Registry) MaxGauge(name string) float64 {
+	var max float64
+	for _, s := range r.Samples(name) {
+		if s.Value > max {
+			max = s.Value
+		}
+	}
+	return max
+}
+
+// SumCounter returns the summed instance values of a counter family.
+func (r *Registry) SumCounter(name string) uint64 {
+	var sum uint64
+	for _, s := range r.Samples(name) {
+		sum += uint64(s.Value)
+	}
+	return sum
+}
+
+// MaxQuantile returns the largest per-instance q-th percentile of a
+// histogram family (q in percent, e.g. 99 for p99). Zero when the family
+// is unknown, empty, or not a histogram.
+func (r *Registry) MaxQuantile(name string, q float64) time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind != KindHistogram {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var max time.Duration
+	for _, key := range f.order {
+		h := f.byKey[key].hist.HDR()
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if p := h.Percentile(q); p > max {
+			max = p
+		}
+	}
+	return max
+}
+
 // quantiles exposed for each histogram family.
 var summaryQuantiles = []struct {
 	q     float64

@@ -92,6 +92,19 @@ var goldenFrames = []struct {
 		"0500000020f4030603"},
 	{"Reject", Reject{Token: 0xb, ID: 0x4d, Color: 0x3, Tenant: 0x7, Code: RejectThrottled, IsRead: false, RetryAfterMicros: 1500},
 		"0b00000021f4030b4d03070100dc0b"},
+	{"JoinFetch", JoinFetch{ID: 0x6, Have: map[types.ColorID]types.SN{0x0: 0x100000002}, Budget: 0x80, From: 0x2},
+		"0e00000024f4030601008280808010800102"},
+	{"JoinEntries", JoinEntries{ID: 0x6, Records: map[types.ColorID][]WireRecord{0x0: {WireRecord{Token: 0x1, SN: 0x100000003, Data: []uint8{0x65}}}}, Frontier: map[types.ColorID]types.SN{0x0: 0x100000004}, More: true, From: 0x3},
+		"1800000025f403060100010183808080100165010084808080100103"},
+	{"TopoUpdate", TopoUpdate{Version: 0x7, Regions: []TopoRegion{
+		{Color: 0x0, Parent: 0x0, Leader: 0x64, Backups: []types.NodeID{0x65}, Members: []types.NodeID{0x64, 0x65}, IsRoot: true},
+		{Color: 0x1, Parent: 0x0, Leader: 0x6e, Backups: nil, Members: []types.NodeID{0x6e}, IsRoot: false},
+	}, Shards: []TopoShard{{ID: 0x1, Leaf: 0x1, Replicas: []types.NodeID{0x1, 0x2, 0x3}}}, From: 0x1f4},
+		"1e00000026f403070200006401650264650101006e00016e0001010103010203f403"},
+	{"CtrlReconfig", CtrlReconfig{Seq: 0x9, Op: CtrlOpJoin, Donor: 0x2, From: 0x1f4},
+		"0800000027f403090102f403"},
+	{"CtrlAck", CtrlAck{Seq: 0x9, Op: CtrlOpJoin, OK: true, Mode: 0x5, Lag: 0x2a, Version: 0x7, From: 0x3},
+		"0a00000028f403090101052a0703"},
 }
 
 // TestCodecGoldenBytes checks encode produces exactly the pinned bytes
@@ -140,7 +153,7 @@ func TestCodecGoldenCoversAllTags(t *testing.T) {
 		}
 		seen[wm.wireTag()] = true
 	}
-	for tag := TagAppendReq; tag <= TagAggOrderRespBatch; tag++ {
+	for tag := TagAppendReq; tag <= TagCtrlAck; tag++ {
 		if !seen[tag] {
 			t.Errorf("no golden frame for tag %d", tag)
 		}

@@ -159,6 +159,11 @@ const (
 	RejectOverloaded uint8 = iota
 	// RejectThrottled: per-tenant admission control rejected the request.
 	RejectThrottled
+	// RejectReconfiguring: the replica is being drained (or its shard
+	// merged away) by the control plane and no longer accepts appends.
+	// Retryable: the client re-resolves the topology and retries against
+	// the post-reconfiguration membership.
+	RejectReconfiguring
 )
 
 // Reject is a replica's typed backpressure response: instead of silently
@@ -419,6 +424,100 @@ type SyncDone struct {
 	From types.NodeID
 }
 
+// ---- Reconfiguration control plane (DESIGN.md §15) ----
+
+// JoinFetch is a catch-up request from a replica outside (or being merged
+// out of) a shard's serving set to a donor replica: send committed records
+// above Have, per color. Unlike the sync-phase SyncFetch it never pauses
+// the donor — catch-up runs in the background under live traffic. Budget
+// bounds the records per color in one reply so a far-behind joiner fetches
+// in rounds instead of one giant frame.
+type JoinFetch struct {
+	ID     uint64
+	Have   map[types.ColorID]types.SN
+	Budget uint32 // max records per color per reply; 0 = unlimited
+	From   types.NodeID
+}
+
+// JoinEntries is the donor's reply to a JoinFetch: the missing committed
+// records plus the donor's own committed frontier, from which the joiner
+// computes its catch-up lag (the promotion gate). More marks a reply
+// truncated by the fetch budget — the joiner immediately fetches again.
+type JoinEntries struct {
+	ID       uint64
+	Records  map[types.ColorID][]WireRecord
+	Frontier map[types.ColorID]types.SN // donor's committed frontier per color
+	More     bool                       // reply truncated by Budget; fetch again
+	From     types.NodeID
+}
+
+// TopoRegion is one region of a TopoUpdate snapshot.
+type TopoRegion struct {
+	Color   types.ColorID
+	Parent  types.ColorID
+	Leader  types.NodeID
+	Backups []types.NodeID
+	Members []types.NodeID
+	IsRoot  bool
+}
+
+// TopoShard is one shard of a TopoUpdate snapshot.
+type TopoShard struct {
+	ID       types.ShardID
+	Leaf     types.ColorID
+	Replicas []types.NodeID
+}
+
+// TopoUpdate broadcasts a full, versioned topology snapshot after a
+// reconfiguration. Receivers apply it through the epoch fence: a snapshot
+// whose Version is not strictly newer than the local layout is a stale or
+// duplicate broadcast and is dropped (topology.Apply).
+type TopoUpdate struct {
+	Version uint64
+	Regions []TopoRegion
+	Shards  []TopoShard
+	From    types.NodeID
+}
+
+// Control-plane operation codes carried by CtrlReconfig.
+const (
+	// CtrlOpJoin starts background catch-up on a spare replica: fetch
+	// committed records from Donor until the lag reaches zero.
+	CtrlOpJoin uint8 = iota + 1
+	// CtrlOpPromote promotes a caught-up replica: it runs the sync-phase
+	// against its (new) shard peers and enters the serving set.
+	CtrlOpPromote
+	// CtrlOpDrain drains a replica out of the serving set: new appends get
+	// a typed Reject(reconfiguring) while in-flight commits finish.
+	CtrlOpDrain
+	// CtrlOpStatus queries a node's reconfiguration state (mode, catch-up
+	// lag, topology version) without changing anything.
+	CtrlOpStatus
+)
+
+// CtrlReconfig is a control-plane command to one node: start a catch-up
+// (Join, naming the Donor), promote, drain, or report status. Seq
+// correlates the CtrlAck.
+type CtrlReconfig struct {
+	Seq   uint64
+	Op    uint8 // CtrlOp*
+	Donor types.NodeID
+	From  types.NodeID
+}
+
+// CtrlAck answers a CtrlReconfig with the node's reconfiguration state:
+// its replica mode, remaining catch-up lag in records (join in progress),
+// and the topology fencing version it has applied.
+type CtrlAck struct {
+	Seq     uint64
+	Op      uint8
+	OK      bool
+	Mode    uint8
+	Lag     uint64
+	Version uint64
+	From    types.NodeID
+}
+
 // RegisterGob registers every message type for the TCP transport. It is
 // safe to call multiple times (gob panics only on conflicting
 // registrations, which cannot happen here).
@@ -458,4 +557,9 @@ func RegisterGob() {
 	gob.Register(SyncEntries{})
 	gob.Register(SyncDone{})
 	gob.Register(Reject{})
+	gob.Register(JoinFetch{})
+	gob.Register(JoinEntries{})
+	gob.Register(TopoUpdate{})
+	gob.Register(CtrlReconfig{})
+	gob.Register(CtrlAck{})
 }

@@ -85,6 +85,11 @@ const (
 	TagReject            byte = 33
 	TagAggOrderReqBatch  byte = 34
 	TagAggOrderRespBatch byte = 35
+	TagJoinFetch         byte = 36
+	TagJoinEntries       byte = 37
+	TagTopoUpdate        byte = 38
+	TagCtrlReconfig      byte = 39
+	TagCtrlAck           byte = 40
 	// TagGobFallback frames a gob-encoded payload for message types the
 	// binary codec does not know.
 	TagGobFallback byte = 255
@@ -374,6 +379,39 @@ func decodeBody(tag byte, body []byte) (any, error) {
 		return m, nil
 	case TagReject:
 		var m Reject
+		if err := m.Decode(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagJoinFetch:
+		var m JoinFetch
+		if err := m.Decode(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagJoinEntries:
+		var m JoinEntries
+		if err := m.Decode(body); err != nil {
+			return nil, err
+		}
+		for _, recs := range m.Records {
+			ownRecordData(recs)
+		}
+		return m, nil
+	case TagTopoUpdate:
+		var m TopoUpdate
+		if err := m.Decode(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagCtrlReconfig:
+		var m CtrlReconfig
+		if err := m.Decode(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TagCtrlAck:
+		var m CtrlAck
 		if err := m.Decode(body); err != nil {
 			return nil, err
 		}

@@ -736,6 +736,151 @@ func (m *Reject) Decode(b []byte) error {
 func (m Reject) wireTag() byte { return TagReject }
 
 // AppendTo appends the message body to b. See wire.go.
+func (m JoinFetch) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.ID)
+	b = appendSNMap(b, m.Have)
+	b = appendUvarint(b, uint64(m.Budget))
+	b = appendUvarint(b, uint64(m.From))
+	return b
+}
+
+// Decode parses a message body, reusing the map storage.
+func (m *JoinFetch) Decode(b []byte) error {
+	r := wireReader{b: b}
+	m.ID = r.uvarint()
+	m.Have = readSNMap(&r, m.Have)
+	m.Budget = r.u32()
+	m.From = types.NodeID(r.u32())
+	return r.done()
+}
+
+func (m JoinFetch) wireTag() byte { return TagJoinFetch }
+
+// AppendTo appends the message body to b. See wire.go.
+func (m JoinEntries) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.ID)
+	b = appendRecordsMap(b, m.Records)
+	b = appendSNMap(b, m.Frontier)
+	b = appendBool(b, m.More)
+	b = appendUvarint(b, uint64(m.From))
+	return b
+}
+
+// Decode parses a message body, aliasing record payloads into b.
+func (m *JoinEntries) Decode(b []byte) error {
+	r := wireReader{b: b}
+	m.ID = r.uvarint()
+	m.Records = readRecordsMap(&r, m.Records)
+	m.Frontier = readSNMap(&r, m.Frontier)
+	m.More = r.bool()
+	m.From = types.NodeID(r.u32())
+	return r.done()
+}
+
+func (m JoinEntries) wireTag() byte { return TagJoinEntries }
+
+// AppendTo appends the message body to b. See wire.go.
+func (m TopoUpdate) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Version)
+	b = appendUvarint(b, uint64(len(m.Regions)))
+	for _, rg := range m.Regions {
+		b = appendUvarint(b, uint64(rg.Color))
+		b = appendUvarint(b, uint64(rg.Parent))
+		b = appendUvarint(b, uint64(rg.Leader))
+		b = appendNodeIDs(b, rg.Backups)
+		b = appendNodeIDs(b, rg.Members)
+		b = appendBool(b, rg.IsRoot)
+	}
+	b = appendUvarint(b, uint64(len(m.Shards)))
+	for _, sh := range m.Shards {
+		b = appendUvarint(b, uint64(sh.ID))
+		b = appendUvarint(b, uint64(sh.Leaf))
+		b = appendNodeIDs(b, sh.Replicas)
+	}
+	b = appendUvarint(b, uint64(m.From))
+	return b
+}
+
+// Decode parses a message body, reusing the slice storage.
+func (m *TopoUpdate) Decode(b []byte) error {
+	r := wireReader{b: b}
+	m.Version = r.uvarint()
+	nr := r.count(6)
+	m.Regions = m.Regions[:0]
+	for i := 0; i < nr; i++ {
+		var rg TopoRegion
+		rg.Color = types.ColorID(r.u32())
+		rg.Parent = types.ColorID(r.u32())
+		rg.Leader = types.NodeID(r.u32())
+		rg.Backups = readNodeIDs(&r, nil)
+		rg.Members = readNodeIDs(&r, nil)
+		rg.IsRoot = r.bool()
+		m.Regions = append(m.Regions, rg)
+	}
+	ns := r.count(3)
+	m.Shards = m.Shards[:0]
+	for i := 0; i < ns; i++ {
+		var sh TopoShard
+		sh.ID = types.ShardID(r.u32())
+		sh.Leaf = types.ColorID(r.u32())
+		sh.Replicas = readNodeIDs(&r, nil)
+		m.Shards = append(m.Shards, sh)
+	}
+	m.From = types.NodeID(r.u32())
+	return r.done()
+}
+
+func (m TopoUpdate) wireTag() byte { return TagTopoUpdate }
+
+// AppendTo appends the message body to b. See wire.go.
+func (m CtrlReconfig) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = append(b, m.Op)
+	b = appendUvarint(b, uint64(m.Donor))
+	b = appendUvarint(b, uint64(m.From))
+	return b
+}
+
+// Decode parses a message body.
+func (m *CtrlReconfig) Decode(b []byte) error {
+	r := wireReader{b: b}
+	m.Seq = r.uvarint()
+	m.Op = r.u8()
+	m.Donor = types.NodeID(r.u32())
+	m.From = types.NodeID(r.u32())
+	return r.done()
+}
+
+func (m CtrlReconfig) wireTag() byte { return TagCtrlReconfig }
+
+// AppendTo appends the message body to b. See wire.go.
+func (m CtrlAck) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = append(b, m.Op)
+	b = appendBool(b, m.OK)
+	b = append(b, m.Mode)
+	b = appendUvarint(b, m.Lag)
+	b = appendUvarint(b, m.Version)
+	b = appendUvarint(b, uint64(m.From))
+	return b
+}
+
+// Decode parses a message body.
+func (m *CtrlAck) Decode(b []byte) error {
+	r := wireReader{b: b}
+	m.Seq = r.uvarint()
+	m.Op = r.u8()
+	m.OK = r.bool()
+	m.Mode = r.u8()
+	m.Lag = r.uvarint()
+	m.Version = r.uvarint()
+	m.From = types.NodeID(r.u32())
+	return r.done()
+}
+
+func (m CtrlAck) wireTag() byte { return TagCtrlAck }
+
+// AppendTo appends the message body to b. See wire.go.
 func (m SyncDone) AppendTo(b []byte) []byte {
 	b = appendUvarint(b, m.ID)
 	b = appendUvarint(b, uint64(m.From))

@@ -64,6 +64,10 @@ func (r *Replica) initObs() {
 		{"flexlog_replica_sync_retries_total", "Stalled sync-phase stages re-driven.", r.stats.syncRetries.Load},
 		{"flexlog_replica_sync_aborts_total", "Wedged sync runs abandoned.", r.stats.syncAborts.Load},
 		{"flexlog_replica_replays_total", "Multi-append record sets replayed.", r.stats.replays.Load},
+		{"flexlog_replica_join_rounds_total", "Join catch-up fetch rounds ingested.", r.stats.joinRounds.Load},
+		{"flexlog_replica_join_records_total", "Records ingested through join catch-up.", r.stats.joinRecords.Load},
+		{"flexlog_replica_reconfig_rejects_total", "Appends rejected with Reject(reconfiguring) while draining.", r.stats.reconfigRejects.Load},
+		{"flexlog_replica_topo_applies_total", "Topology snapshots adopted from TopoUpdate broadcasts.", r.stats.topoApplies.Load},
 	} {
 		reg.CounterFunc(c.name, c.help, lb, c.fn)
 	}
@@ -105,8 +109,16 @@ func (r *Replica) initObs() {
 			return float64(len(r.pending))
 		})
 	reg.GaugeFunc("flexlog_replica_mode",
-		"Replica mode: 0 operational, 1 syncing, 2 crashed, 3 stopped.", lb,
+		"Replica mode: 0 operational, 1 syncing, 2 crashed, 3 stopped, 4 joining, 5 draining.", lb,
 		func() float64 { return float64(r.mode.load()) })
+	reg.GaugeFunc("flexlog_replica_join_lag",
+		"Estimated records behind the donor while joining (0 when not joining).", lb,
+		func() float64 {
+			if r.mode.load() != ModeJoining {
+				return 0
+			}
+			return float64(r.joinLag.Load())
+		})
 }
 
 // traceAppend folds one committed append into the append tracer: persist

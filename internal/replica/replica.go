@@ -45,6 +45,14 @@ const (
 	ModeSyncing
 	ModeCrashed
 	ModeStopped
+	// ModeJoining: spawned outside the topology, pulling committed history
+	// from a donor replica (DESIGN.md §15). Appends never reach it (clients
+	// cannot address it); Promote moves it to ModeSyncing.
+	ModeJoining
+	// ModeDraining: removed from the topology, flushing pending orders
+	// before Stop. New appends get Reject(reconfiguring); commits, reads,
+	// and trims still flow.
+	ModeDraining
 )
 
 func (m Mode) String() string {
@@ -55,6 +63,10 @@ func (m Mode) String() string {
 		return "syncing"
 	case ModeCrashed:
 		return "crashed"
+	case ModeJoining:
+		return "joining"
+	case ModeDraining:
+		return "draining"
 	default:
 		return "stopped"
 	}
@@ -96,6 +108,10 @@ type Config struct {
 	// StoreFactory overrides how the storage stack is built (e.g. to
 	// re-attach to restored device snapshots); nil uses storage.New(Store).
 	StoreFactory func(storage.Config) (*storage.Store, error)
+	// JoinBudget caps the records per color one join catch-up round may
+	// carry (DESIGN.md §15); 0 uses 2048. Smaller rounds bound the memory
+	// and wire footprint of a catch-up under live traffic.
+	JoinBudget int
 	// Tenants declares the multi-tenant QoS envelope (DESIGN.md §13):
 	// per-tenant weighted-fair scheduling on both service lanes,
 	// token-bucket admission control at the append ingress, and typed
@@ -175,6 +191,12 @@ type Stats struct {
 	SyncRetries  uint64 // stalled sync-phase stages re-driven (lossy links)
 	SyncAborts   uint64 // wedged sync runs abandoned (peer crashed mid-run)
 	Replays      uint64 // multi-append record sets replayed
+
+	// Reconfiguration (DESIGN.md §15).
+	JoinRounds      uint64 // catch-up fetch rounds ingested while joining
+	JoinRecords     uint64 // records ingested through join catch-up
+	ReconfigRejects uint64 // appends answered Reject(reconfiguring) while draining
+	TopoApplies     uint64 // topology snapshots adopted from TopoUpdate
 }
 
 // counters is the live, atomically updated form of Stats: the read lane
@@ -197,6 +219,11 @@ type counters struct {
 	syncRetries  atomic.Uint64
 	syncAborts   atomic.Uint64
 	replays      atomic.Uint64
+
+	joinRounds      atomic.Uint64
+	joinRecords     atomic.Uint64
+	reconfigRejects atomic.Uint64
+	topoApplies     atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -218,6 +245,11 @@ func (c *counters) snapshot() Stats {
 		SyncRetries:  c.syncRetries.Load(),
 		SyncAborts:   c.syncAborts.Load(),
 		Replays:      c.replays.Load(),
+
+		JoinRounds:      c.joinRounds.Load(),
+		JoinRecords:     c.joinRecords.Load(),
+		ReconfigRejects: c.reconfigRejects.Load(),
+		TopoApplies:     c.topoApplies.Load(),
 	}
 }
 
@@ -250,7 +282,12 @@ type Replica struct {
 	appendTr *obs.Tracer
 	readTr   *obs.Tracer
 
+	// joinLag is the latest catch-up lag estimate (MaxUint64 before the
+	// first round answers); read lock-free by the control plane.
+	joinLag atomic.Uint64
+
 	mu         sync.Mutex
+	join       *joinState   // active catch-up transfer (ModeJoining)
 	epoch      types.Epoch  // known sequencer epoch (§6.3)
 	seqNode    types.NodeID // current leaf-sequencer leader
 	pending    map[types.Token]*pendingOrder
@@ -486,6 +523,14 @@ func (r *Replica) handle(from types.NodeID, msg transport.Message) {
 		r.onSyncEntries(m)
 	case proto.SyncDone:
 		r.onSyncDone(m)
+	case proto.JoinFetch:
+		r.onJoinFetch(from, m)
+	case proto.JoinEntries:
+		r.onJoinEntries(m)
+	case proto.TopoUpdate:
+		r.onTopoUpdate(m)
+	case proto.CtrlReconfig:
+		r.onCtrlReconfig(from, m)
 	case proto.ReplicaHeartbeat:
 		// peer liveness; nothing to do in the happy path
 	}
@@ -524,9 +569,14 @@ func (r *Replica) onAppendBatch(from types.NodeID, m proto.AppendBatchReq) {
 
 // doAppend runs the replica side of the append protocol for one token.
 func (r *Replica) doAppend(from types.NodeID, color types.ColorID, token types.Token, records [][]byte, client types.NodeID) {
-	if r.mode.load() != ModeOperational {
-		// §6.3: replicas in sync mode stop processing new appends. The
-		// client (or broker) retries.
+	if mode := r.mode.load(); mode != ModeOperational {
+		// §6.3: replicas in sync mode stop processing new appends — the
+		// client (or broker) retries. Draining replicas answer with a typed
+		// retryable rejection so clients re-resolve membership immediately
+		// instead of burning the timeout.
+		if mode == ModeDraining {
+			r.rejectDraining(from, color, token, client)
+		}
 		return
 	}
 	r.stats.appends.Add(1)
@@ -647,7 +697,7 @@ func (r *Replica) sendOrderReq(token types.Token, color types.ColorID, n uint32)
 		Token:    token,
 		NRecords: n,
 		Shard:    r.cfg.Shard,
-		Replicas: sh.Replicas,
+		Replicas: r.orderReplicas(sh.Replicas),
 	}
 	r.ep.Send(r.sequencer(), req)
 }
@@ -851,15 +901,19 @@ func (r *Replica) timerLoop() {
 		case <-r.stopCh:
 			return
 		case now := <-t.C:
-			mode := r.mode.load()
-			if mode != ModeOperational && mode != ModeSyncing {
-				continue
-			}
-			r.expireHeldReads(now)
-			r.retrySyncRuns(now)
-			if mode == ModeOperational {
+			switch r.mode.load() {
+			case ModeOperational, ModeDraining:
+				// Draining keeps the order-retry and heartbeat machinery
+				// alive so its pending appends flush before Stop.
+				r.expireHeldReads(now)
+				r.retrySyncRuns(now)
 				r.retryPendingOrders(now)
 				r.ep.Send(r.sequencer(), proto.ReplicaHeartbeat{From: r.cfg.ID})
+			case ModeSyncing:
+				r.expireHeldReads(now)
+				r.retrySyncRuns(now)
+			case ModeJoining:
+				r.retryJoin(now)
 			}
 		}
 	}

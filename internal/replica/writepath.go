@@ -164,18 +164,19 @@ func (c *orderCoalescer) flush() {
 		return
 	}
 	seq := r.sequencer()
+	replicas := r.orderReplicas(sh.Replicas)
 	for _, color := range order {
 		items := byColor[color]
 		if len(items) == 1 {
 			// Single request: keep the compact legacy frame.
 			r.ep.Send(seq, proto.OrderReq{
 				Color: color, Token: items[0].Token, NRecords: items[0].NRecords,
-				Shard: r.cfg.Shard, Replicas: sh.Replicas,
+				Shard: r.cfg.Shard, Replicas: replicas,
 			})
 			continue
 		}
 		r.ep.Send(seq, proto.OrderReqBatch{
-			Color: color, Shard: r.cfg.Shard, Replicas: sh.Replicas, Items: items,
+			Color: color, Shard: r.cfg.Shard, Replicas: replicas, Items: items,
 		})
 	}
 }

@@ -47,9 +47,10 @@ type ShardInfo struct {
 // Topology is the shared cluster layout. All methods are safe for
 // concurrent use.
 type Topology struct {
-	mu     sync.RWMutex
-	seqs   map[types.ColorID]*SequencerInfo
-	shards map[types.ShardID]*ShardInfo
+	mu      sync.RWMutex
+	version uint64
+	seqs    map[types.ColorID]*SequencerInfo
+	shards  map[types.ShardID]*ShardInfo
 }
 
 // New returns an empty topology.
@@ -93,6 +94,7 @@ func (t *Topology) AddRegion(color types.ColorID, parent types.ColorID, leader t
 		Parent:  parent,
 		IsRoot:  isRoot,
 	}
+	t.version++
 	return nil
 }
 
@@ -111,6 +113,7 @@ func (t *Topology) AddShard(id types.ShardID, leaf types.ColorID, replicas []typ
 		Leaf:     leaf,
 		Replicas: append([]types.NodeID(nil), replicas...),
 	}
+	t.version++
 	return nil
 }
 
@@ -143,6 +146,7 @@ func (t *Topology) SetLeader(color types.ColorID, leader types.NodeID) error {
 		return fmt.Errorf("%w: %v", ErrUnknownColor, color)
 	}
 	si.Leader = leader
+	t.version++
 	return nil
 }
 
@@ -303,4 +307,131 @@ func (t *Topology) PathToOwner(from, target types.ColorID) ([]types.ColorID, err
 		path = append(path, c)
 	}
 	return path, nil
+}
+
+// ErrLastReplica is returned when a removal would leave a shard empty.
+var ErrLastReplica = errors.New("topology: cannot remove the last replica of a shard")
+
+// Version returns the fencing epoch of the layout: a monotonic counter
+// bumped by every mutation (region/shard/replica membership and leader
+// changes). Reconfiguration messages carry it so stale snapshots can be
+// rejected, and clients compare it to decide when to re-resolve routes.
+func (t *Topology) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// AddReplicaToShard promotes a caught-up replica into a shard's read/write
+// set. From this point appends broadcast to it and reads may consult it.
+func (t *Topology) AddReplicaToShard(id types.ShardID, node types.NodeID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sh, ok := t.shards[id]
+	if !ok {
+		return fmt.Errorf("topology: unknown shard %v", id)
+	}
+	for _, r := range sh.Replicas {
+		if r == node {
+			return fmt.Errorf("%w: replica %v in shard %v", ErrDuplicate, node, id)
+		}
+	}
+	sh.Replicas = append(sh.Replicas, node)
+	t.version++
+	return nil
+}
+
+// RemoveReplicaFromShard drops a replica from a shard's read/write set
+// (drain cutover). The shard must keep at least one replica.
+func (t *Topology) RemoveReplicaFromShard(id types.ShardID, node types.NodeID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sh, ok := t.shards[id]
+	if !ok {
+		return fmt.Errorf("topology: unknown shard %v", id)
+	}
+	for i, r := range sh.Replicas {
+		if r != node {
+			continue
+		}
+		if len(sh.Replicas) == 1 {
+			return fmt.Errorf("%w: shard %v", ErrLastReplica, id)
+		}
+		sh.Replicas = append(sh.Replicas[:i:i], sh.Replicas[i+1:]...)
+		t.version++
+		return nil
+	}
+	return fmt.Errorf("topology: replica %v not in shard %v", node, id)
+}
+
+// RemoveShard detaches a shard from the layout (merge cutover: its records
+// must already have been migrated into the surviving shard of the leaf).
+func (t *Topology) RemoveShard(id types.ShardID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.shards[id]; !ok {
+		return fmt.Errorf("topology: unknown shard %v", id)
+	}
+	delete(t.shards, id)
+	t.version++
+	return nil
+}
+
+// Snapshot is a versioned copy of the full layout, used to propagate
+// reconfigurations to remote nodes (proto.TopoUpdate) and to render
+// /debug/topology. Regions and Shards are sorted for determinism.
+type Snapshot struct {
+	Version uint64
+	Regions []SequencerInfo
+	Shards  []ShardInfo
+}
+
+// Snapshot returns a deep, versioned copy of the layout.
+func (t *Topology) Snapshot() Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Snapshot{Version: t.version}
+	for _, si := range t.seqs {
+		cp := *si
+		cp.Backups = append([]types.NodeID(nil), si.Backups...)
+		cp.Members = append([]types.NodeID(nil), si.Members...)
+		s.Regions = append(s.Regions, cp)
+	}
+	for _, sh := range t.shards {
+		cp := *sh
+		cp.Replicas = append([]types.NodeID(nil), sh.Replicas...)
+		s.Shards = append(s.Shards, cp)
+	}
+	sort.Slice(s.Regions, func(i, j int) bool { return s.Regions[i].Region < s.Regions[j].Region })
+	sort.Slice(s.Shards, func(i, j int) bool { return s.Shards[i].ID < s.Shards[j].ID })
+	return s
+}
+
+// Apply installs a snapshot if (and only if) it is newer than the local
+// layout — the epoch fence for reconfiguration broadcasts. It returns true
+// when the snapshot was applied and false when it was stale or equal (a
+// duplicate or out-of-order TopoUpdate), which callers treat as a no-op.
+func (t *Topology) Apply(s Snapshot) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.Version <= t.version {
+		return false
+	}
+	seqs := make(map[types.ColorID]*SequencerInfo, len(s.Regions))
+	for i := range s.Regions {
+		cp := s.Regions[i]
+		cp.Backups = append([]types.NodeID(nil), cp.Backups...)
+		cp.Members = append([]types.NodeID(nil), cp.Members...)
+		seqs[cp.Region] = &cp
+	}
+	shards := make(map[types.ShardID]*ShardInfo, len(s.Shards))
+	for i := range s.Shards {
+		cp := s.Shards[i]
+		cp.Replicas = append([]types.NodeID(nil), cp.Replicas...)
+		shards[cp.ID] = &cp
+	}
+	t.seqs = seqs
+	t.shards = shards
+	t.version = s.Version
+	return true
 }

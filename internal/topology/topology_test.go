@@ -213,6 +213,108 @@ func TestPathToOwner(t *testing.T) {
 	}
 }
 
+func TestReplicaMembershipMutators(t *testing.T) {
+	topo := buildTree(t)
+	v0 := topo.Version()
+	if err := topo.AddReplicaToShard(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	sh, _ := topo.Shard(1)
+	if len(sh.Replicas) != 4 || sh.Replicas[3] != 42 {
+		t.Fatalf("after add, replicas = %v", sh.Replicas)
+	}
+	if topo.Version() != v0+1 {
+		t.Fatalf("version after add = %d, want %d", topo.Version(), v0+1)
+	}
+	if err := topo.AddReplicaToShard(1, 42); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate add: %v", err)
+	}
+	if err := topo.AddReplicaToShard(99, 1); err == nil {
+		t.Fatal("add to unknown shard should fail")
+	}
+	if err := topo.RemoveReplicaFromShard(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	sh, _ = topo.Shard(1)
+	if len(sh.Replicas) != 3 {
+		t.Fatalf("after remove, replicas = %v", sh.Replicas)
+	}
+	if err := topo.RemoveReplicaFromShard(1, 42); err == nil {
+		t.Fatal("removing a non-member should fail")
+	}
+	if err := topo.RemoveReplicaFromShard(99, 1); err == nil {
+		t.Fatal("remove from unknown shard should fail")
+	}
+	topo.AddShard(9, 1, []types.NodeID{77})
+	if err := topo.RemoveReplicaFromShard(9, 77); !errors.Is(err, ErrLastReplica) {
+		t.Fatalf("last-replica removal: %v", err)
+	}
+}
+
+func TestRemoveShard(t *testing.T) {
+	topo := buildTree(t)
+	v0 := topo.Version()
+	if err := topo.RemoveShard(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Shard(2); err == nil {
+		t.Fatal("removed shard still resolvable")
+	}
+	if got := topo.ShardsInRegion(1); len(got) != 1 {
+		t.Fatalf("region 1 shards after remove = %v", got)
+	}
+	if topo.Version() != v0+1 {
+		t.Fatalf("version = %d, want %d", topo.Version(), v0+1)
+	}
+	if err := topo.RemoveShard(2); err == nil {
+		t.Fatal("double remove should fail")
+	}
+}
+
+func TestSnapshotApplyFencing(t *testing.T) {
+	topo := buildTree(t)
+	snap := topo.Snapshot()
+	if snap.Version != topo.Version() || len(snap.Regions) != 3 || len(snap.Shards) != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// A fresh topology accepts the snapshot wholesale.
+	other := New()
+	if !other.Apply(snap) {
+		t.Fatal("fresh topology rejected snapshot")
+	}
+	if other.Version() != snap.Version {
+		t.Fatalf("applied version = %d, want %d", other.Version(), snap.Version)
+	}
+	if sh, err := other.Shard(3); err != nil || sh.Leaf != 2 || len(sh.Replicas) != 3 {
+		t.Fatalf("applied shard 3 = %+v, %v", sh, err)
+	}
+	if l, err := other.Leader(1); err != nil || l != 110 {
+		t.Fatalf("applied leader(1) = %v, %v", l, err)
+	}
+
+	// Stale and duplicate snapshots are fenced out.
+	if other.Apply(snap) {
+		t.Fatal("duplicate snapshot should be rejected")
+	}
+	if err := other.AddReplicaToShard(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	if other.Apply(snap) {
+		t.Fatal("stale snapshot should be rejected after local mutation")
+	}
+	if sh, _ := other.Shard(1); len(sh.Replicas) != 4 {
+		t.Fatalf("stale apply clobbered local state: %v", sh.Replicas)
+	}
+
+	// Snapshots are deep copies: mutating the source must not leak.
+	snap2 := topo.Snapshot()
+	snap2.Shards[0].Replicas[0] = 999
+	if sh, _ := topo.Shard(snap2.Shards[0].ID); sh.Replicas[0] == 999 {
+		t.Fatal("snapshot aliases live replica slice")
+	}
+}
+
 func TestDeepTree(t *testing.T) {
 	topo := New()
 	topo.AddRegion(0, 0, 1, nil)
